@@ -1,0 +1,45 @@
+// Fig 9 (§5.4): "Newp interleaved cache joins perform better than fetching
+// article data in separate RPCs, except when writes are very common."
+//
+// Sweeps the vote rate from 0% to 100% and runs the Newp workload in both
+// configurations. Paper shape: interleaved wins at low-to-moderate vote
+// rates (single scan vs many gets per article read); the crossover where
+// precomputation costs overtake the saved gets sits near 90%.
+//
+//   ./build/bench/fig9_interleaved [sessions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/newp.hh"
+
+using namespace pequod;
+
+int main(int argc, char** argv) {
+    apps::NewpConfig cfg;
+    cfg.sessions =
+        argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 30000;
+    cfg.users = 1000;
+    cfg.articles = 2000;
+    cfg.prepopulate_comments = 20000;
+    cfg.prepopulate_votes = 40000;
+
+    std::printf("Fig 9: Newp interleaved cache joins (%llu sessions, "
+                "%u articles, %u comments, %u votes prepopulated)\n",
+                static_cast<unsigned long long>(cfg.sessions), cfg.articles,
+                cfg.prepopulate_comments, cfg.prepopulate_votes);
+    std::printf("paper shape: interleaved wins except at very high vote "
+                "rates (crossover ~90%%)\n\n");
+    std::printf("%-12s %18s %18s %10s\n", "vote rate%", "non-interleaved(s)",
+                "interleaved(s)", "winner");
+    for (int rate = 0; rate <= 100; rate += 10) {
+        cfg.vote_rate = rate / 100.0;
+        auto non = apps::run_newp(cfg, false);
+        auto inter = apps::run_newp(cfg, true);
+        std::printf("%-12d %18.3f %18.3f %10s\n", rate, non.total_seconds,
+                    inter.total_seconds,
+                    inter.total_seconds <= non.total_seconds
+                        ? "interleaved" : "separate");
+        std::fflush(stdout);
+    }
+    return 0;
+}

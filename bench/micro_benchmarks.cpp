@@ -1,0 +1,161 @@
+// Google-benchmark microbenchmarks for Pequod's building blocks: store
+// operations across the tree layers, pattern matching and containing-range
+// computation, the updater interval tree, the wire codec, join execution,
+// and eager incremental maintenance.
+#include <benchmark/benchmark.h>
+
+#include "common/interval_map.hh"
+#include "common/rng.hh"
+#include "core/server.hh"
+#include "join/join.hh"
+#include "net/buffer.hh"
+#include "store/store.hh"
+
+namespace pequod {
+namespace {
+
+std::string make_key(uint64_t i) {
+    return "t|" + pad_number(i % 997, 6) + "|" + pad_number(i, 10);
+}
+
+void BM_StorePut(benchmark::State& state) {
+    Store store;
+    store.set_subtable_components("t|", 1);
+    uint64_t i = 0;
+    for (auto _ : state)
+        store.put(make_key(i++), "value");
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_StorePut);
+
+void BM_StoreGet(benchmark::State& state) {
+    Store store;
+    store.set_subtable_components("t|", 1);
+    for (uint64_t i = 0; i < 100000; ++i)
+        store.put(make_key(i), "value");
+    uint64_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.get_ptr(make_key(i++ % 100000)));
+    state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_StoreGet);
+
+void BM_StoreScan100(benchmark::State& state) {
+    Store store;
+    store.set_subtable_components("t|", 1);
+    for (uint64_t i = 0; i < 100000; ++i)
+        store.put(make_key(i), "value");
+    uint64_t total = 0;
+    for (auto _ : state) {
+        size_t n = 0;
+        std::string lo = "t|" + pad_number(total % 997, 6);
+        store.scan(lo, prefix_successor(lo),
+                   [&](const std::string&, const Entry&) { ++n; });
+        total += n;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_StoreScan100);
+
+void BM_PatternMatch(benchmark::State& state) {
+    SlotTable slots;
+    Pattern p = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    std::string key = "t|ann|0000000100|bob";
+    for (auto _ : state) {
+        SlotSet ss;
+        benchmark::DoNotOptimize(p.match(key, ss));
+    }
+}
+BENCHMARK(BM_PatternMatch);
+
+void BM_ContainingRange(benchmark::State& state) {
+    SlotTable slots;
+    Pattern out = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    Pattern src = Pattern::parse("p|<poster>|<time:10>", slots);
+    SlotSet ss = out.derive_slot_set("t|ann|0000000100", "t|ann}");
+    ss.bind(slots.find("poster"), "bob");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(src.containing_range(ss));
+}
+BENCHMARK(BM_ContainingRange);
+
+void BM_IntervalMapStab(benchmark::State& state) {
+    IntervalMap<int> map;
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        std::string lo = "p|" + pad_number(rng.below(1000), 6) + "|";
+        map.insert(lo, prefix_successor(lo), i);
+    }
+    uint64_t i = 0;
+    for (auto _ : state) {
+        std::string key =
+            "p|" + pad_number(i++ % 1000, 6) + "|0000000042";
+        size_t hits = 0;
+        map.stab(key, [&](const auto&) { ++hits; });
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_IntervalMapStab);
+
+void BM_VarintCodec(benchmark::State& state) {
+    for (auto _ : state) {
+        net::Buffer b;
+        for (uint64_t v = 1; v < (1ull << 40); v <<= 4)
+            b.write_varint(v);
+        uint64_t sum = 0;
+        for (uint64_t v = 1; v < (1ull << 40); v <<= 4)
+            sum += b.read_varint();
+        benchmark::DoNotOptimize(sum);
+    }
+}
+BENCHMARK(BM_VarintCodec);
+
+void BM_TimelineCompute(benchmark::State& state) {
+    // From-scratch timeline computation over `range` posts (Fig 3).
+    const int posts = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Server server;
+        server.add_join(
+            "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>");
+        for (int p = 0; p < 20; ++p)
+            server.put("s|ann|" + pad_number(p, 4), "1");
+        for (int i = 0; i < posts; ++i)
+            server.put("p|" + pad_number(i % 20, 4) + "|"
+                           + pad_number(static_cast<uint64_t>(i), 10),
+                       "tweet");
+        state.ResumeTiming();
+        size_t n = 0;
+        server.scan("t|ann|", prefix_successor("t|ann|"),
+                    [&](const std::string&, const ValuePtr&) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * posts);
+}
+BENCHMARK(BM_TimelineCompute)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EagerUpdate(benchmark::State& state) {
+    // One post fanned out to `range` follower timelines (§3.2).
+    const int followers = static_cast<int>(state.range(0));
+    Server server;
+    server.add_join(
+        "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>");
+    for (int f = 0; f < followers; ++f)
+        server.put("s|" + pad_number(f, 6) + "|star", "1");
+    server.put("p|star|" + pad_number(0, 10), "seed");
+    for (int f = 0; f < followers; ++f) {
+        std::string lo = "t|" + pad_number(f, 6) + "|";
+        server.scan(lo, prefix_successor(lo),
+                    [](const std::string&, const ValuePtr&) {});
+    }
+    uint64_t now = 1;
+    for (auto _ : state)
+        server.put("p|star|" + pad_number(now++, 10), "fan-out tweet");
+    state.SetItemsProcessed(state.iterations() * followers);
+}
+BENCHMARK(BM_EagerUpdate)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace pequod
+
+BENCHMARK_MAIN();
