@@ -11,6 +11,7 @@
 //   ./build/bench/ablation_subtables [users] [ops]
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/clock.hh"
 #include "common/rng.hh"

@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
                     results[i].total_seconds / baseline,
                     systems[i].paper_runtime, systems[i].paper_factor);
     }
-    std::printf("\ndetails (cpu + modeled rpc, messages):\n");
+    std::printf("\ndetails (wall + modeled rpc, messages):\n");
     for (const auto& r : results)
-        std::printf("  %-16s cpu=%.2fs rpc=%.2fs msgs=%llu bytes=%.1fMB\n",
+        std::printf("  %-16s wall=%.2fs rpc=%.2fs msgs=%llu bytes=%.1fMB\n",
                     r.system.c_str(), r.wall_seconds, r.modeled_rpc_seconds,
                     static_cast<unsigned long long>(r.rpc_messages),
                     static_cast<double>(r.rpc_bytes) / 1e6);

@@ -1,0 +1,68 @@
+#include "apps/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pequod {
+namespace apps {
+
+SocialGraph SocialGraph::generate(const Config& config) {
+    SocialGraph g;
+    uint32_t users = config.users ? config.users : 1;
+    g.following_.resize(users);
+    g.follower_count_.assign(users, 0);
+
+    // Popularity CDF: user u is followed with weight 1/(u+1)^alpha.
+    std::vector<double> popularity_cdf(users);
+    double acc = 0;
+    for (uint32_t u = 0; u < users; ++u) {
+        acc += 1.0
+            / std::pow(static_cast<double>(u) + 1.0, config.zipf_exponent);
+        popularity_cdf[u] = acc;
+    }
+
+    Rng rng(config.seed);
+    for (uint32_t u = 0; u < users; ++u) {
+        auto& out = g.following_[u];
+        uint32_t want = std::min(config.avg_following, users - 1);
+        // Rejection-sample distinct non-self followees; bail out rather
+        // than spin when the graph is tiny.
+        for (uint32_t attempts = 0;
+             out.size() < want && attempts < want * 20u; ++attempts) {
+            double x = rng.uniform() * acc;
+            uint32_t v = static_cast<uint32_t>(
+                std::lower_bound(popularity_cdf.begin(),
+                                 popularity_cdf.end(), x)
+                - popularity_cdf.begin());
+            if (v >= users)
+                v = users - 1;
+            if (v == u || std::find(out.begin(), out.end(), v) != out.end())
+                continue;
+            out.push_back(v);
+        }
+        std::sort(out.begin(), out.end());
+        g.edges_ += out.size();
+        for (uint32_t v : out)
+            ++g.follower_count_[v];
+    }
+
+    g.post_cdf_.resize(users);
+    double pacc = 0;
+    for (uint32_t u = 0; u < users; ++u) {
+        pacc += 1.0
+            + std::log2(1.0 + static_cast<double>(g.follower_count_[u]));
+        g.post_cdf_[u] = pacc;
+    }
+    return g;
+}
+
+uint32_t SocialGraph::sample_poster(Rng& rng) const {
+    double x = rng.uniform() * post_cdf_.back();
+    uint32_t u = static_cast<uint32_t>(
+        std::lower_bound(post_cdf_.begin(), post_cdf_.end(), x)
+        - post_cdf_.begin());
+    return u < user_count() ? u : user_count() - 1;
+}
+
+}  // namespace apps
+}  // namespace pequod

@@ -1,0 +1,54 @@
+// Synthetic power-law social graph for the Twip-style workloads (§5.1).
+// Follower popularity is Zipf-distributed; each user follows a fixed
+// average number of accounts sampled by popularity; posting activity
+// follows the log-follower rule (accounts with more followers post more).
+#ifndef PEQUOD_APPS_GRAPH_HH
+#define PEQUOD_APPS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pequod {
+namespace apps {
+
+class SocialGraph {
+  public:
+    struct Config {
+        uint32_t users = 1000;
+        uint32_t avg_following = 20;
+        double zipf_exponent = 1.0;  // popularity skew
+        uint64_t seed = 1;
+    };
+
+    static SocialGraph generate(const Config& config);
+
+    uint32_t user_count() const {
+        return static_cast<uint32_t>(following_.size());
+    }
+    uint64_t edge_count() const {
+        return edges_;
+    }
+    const std::vector<uint32_t>& following(uint32_t user) const {
+        return following_[user];
+    }
+    uint32_t follower_count(uint32_t user) const {
+        return follower_count_[user];
+    }
+
+    // Pick a poster with probability proportional to 1 + log2(1 +
+    // followers): the §5.1 log-follower posting rule.
+    uint32_t sample_poster(Rng& rng) const;
+
+  private:
+    std::vector<std::vector<uint32_t>> following_;
+    std::vector<uint32_t> follower_count_;
+    std::vector<double> post_cdf_;
+    uint64_t edges_ = 0;
+};
+
+}  // namespace apps
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,49 @@
+// Key-string helpers shared across the system. Pequod keys are flat byte
+// strings built from '|'-separated components; numeric components are
+// zero-padded to a fixed width so that lexicographic order matches numeric
+// order (DESIGN.md §1).
+#ifndef PEQUOD_COMMON_BASE_HH
+#define PEQUOD_COMMON_BASE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace pequod {
+
+// Render `x` as a zero-padded decimal of at least `width` digits, the
+// canonical fixed-width key component.
+inline std::string pad_number(uint64_t x, int width) {
+    char buf[24];
+    int n = std::snprintf(buf, sizeof buf, "%0*llu", width,
+                          static_cast<unsigned long long>(x));
+    return std::string(buf, static_cast<size_t>(n));
+}
+
+// The smallest string ordered after every string that has `prefix` as a
+// prefix, i.e. the exclusive upper bound of the prefix's key range.
+// Returns the empty string when no such bound exists (all-0xff input);
+// callers treat an empty bound as +infinity.
+inline std::string prefix_successor(std::string prefix) {
+    while (!prefix.empty()) {
+        unsigned char c = static_cast<unsigned char>(prefix.back());
+        if (c != 0xFF) {
+            prefix.back() = static_cast<char>(c + 1);
+            return prefix;
+        }
+        prefix.pop_back();
+    }
+    return prefix;
+}
+
+// True when the key ranges addressed by two table prefixes intersect,
+// i.e. one prefix is a prefix of the other.
+inline bool prefixes_overlap(const std::string& a, const std::string& b) {
+    const std::string& shorter = a.size() < b.size() ? a : b;
+    const std::string& longer = a.size() < b.size() ? b : a;
+    return longer.compare(0, shorter.size(), shorter) == 0;
+}
+
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,31 @@
+// Process timers. Benchmarks report CPU seconds so results are comparable
+// on shared machines; WallTimer exists for latency-style measurements.
+#ifndef PEQUOD_COMMON_CLOCK_HH
+#define PEQUOD_COMMON_CLOCK_HH
+
+#include <ctime>
+
+namespace pequod {
+
+struct CpuTimer {
+    // Seconds of CPU time consumed by this process.
+    static double now() {
+        timespec ts;
+        clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+        return static_cast<double>(ts.tv_sec)
+            + static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+};
+
+struct WallTimer {
+    static double now() {
+        timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<double>(ts.tv_sec)
+            + static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+};
+
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,40 @@
+// Non-owning callable reference, used to pass callbacks through
+// non-template interfaces (Server::scan_impl, join execution) without the
+// per-call allocation risk of std::function. The referenced callable must
+// outlive the FnRef, which holds for the scan/emit call chains here.
+#ifndef PEQUOD_COMMON_FNREF_HH
+#define PEQUOD_COMMON_FNREF_HH
+
+#include <type_traits>
+#include <utility>
+
+namespace pequod {
+
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+  public:
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same<std::decay_t<F>, FnRef>::value>>
+    FnRef(F&& f)
+        : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          }) {}
+
+    R operator()(Args... args) const {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,169 @@
+// Interval map over half-open string ranges [lo, hi) with stabbing
+// queries: stab(key) visits every stored interval containing key. This is
+// the index the server uses to route a source-table put to the updaters of
+// the materialized ranges it affects (§3.2), so stab must stay cheap even
+// with many thousands of registered updater ranges.
+//
+// Implemented as a treap keyed by `lo` and augmented with the subtree
+// maximum of `hi`, giving O(log n + hits) expected stabs regardless of
+// insertion order (materialization tends to register ranges in sorted
+// order, which would degenerate an unbalanced tree).
+#ifndef PEQUOD_COMMON_INTERVAL_MAP_HH
+#define PEQUOD_COMMON_INTERVAL_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace pequod {
+
+template <typename T>
+class IntervalMap {
+  public:
+    IntervalMap() = default;
+    ~IntervalMap() {
+        clear();
+    }
+    IntervalMap(const IntervalMap&) = delete;
+    IntervalMap& operator=(const IntervalMap&) = delete;
+
+    // Insert [lo, hi) carrying `value`. Empty intervals (hi <= lo) are
+    // stored but can never be stabbed. An empty `hi` means +infinity.
+    void insert(std::string lo, std::string hi, T value) {
+        Node* x = new Node{std::move(lo), std::move(hi), std::string(),
+                           std::move(value), next_priority(), nullptr,
+                           nullptr};
+        x->max_hi = x->hi;
+        root_ = insert_node(root_, x);
+        ++size_;
+    }
+
+    // Visit the value of every interval with lo <= key < hi.
+    template <typename F>
+    void stab(const std::string& key, F f) const {
+        stab_node(root_, key, f);
+    }
+    template <typename F>
+    void stab(const std::string& key, F f) {
+        stab_node(root_, key, f);
+    }
+
+    size_t size() const {
+        return size_;
+    }
+    bool empty() const {
+        return size_ == 0;
+    }
+
+    void clear() {
+        free_node(root_);
+        root_ = nullptr;
+        size_ = 0;
+    }
+
+  private:
+    struct Node {
+        std::string lo;
+        std::string hi;      // empty == +infinity
+        std::string max_hi;  // max over subtree, with empty == +infinity
+        T value;
+        uint32_t priority;
+        Node* left;
+        Node* right;
+    };
+
+    Node* root_ = nullptr;
+    size_t size_ = 0;
+    uint64_t priority_state_ = 0x853c49e6748fea9bULL;
+
+    uint32_t next_priority() {
+        priority_state_ =
+            priority_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<uint32_t>(priority_state_ >> 32);
+    }
+
+    // Upper bounds are exclusive and "" means +infinity, so +infinity
+    // dominates any concrete bound.
+    static bool bound_less(const std::string& a, const std::string& b) {
+        if (a.empty())
+            return false;
+        if (b.empty())
+            return true;
+        return a < b;
+    }
+    // True when key is below the (exclusive) bound, i.e. possibly inside.
+    static bool key_below(const std::string& key, const std::string& bound) {
+        return bound.empty() || key < bound;
+    }
+
+    static void update(Node* n) {
+        n->max_hi = n->hi;
+        if (n->left && bound_less(n->max_hi, n->left->max_hi))
+            n->max_hi = n->left->max_hi;
+        if (n->right && bound_less(n->max_hi, n->right->max_hi))
+            n->max_hi = n->right->max_hi;
+    }
+
+    static Node* rotate_left(Node* n) {
+        Node* r = n->right;
+        n->right = r->left;
+        r->left = n;
+        update(n);
+        update(r);
+        return r;
+    }
+    static Node* rotate_right(Node* n) {
+        Node* l = n->left;
+        n->left = l->right;
+        l->right = n;
+        update(n);
+        update(l);
+        return l;
+    }
+
+    static Node* insert_node(Node* n, Node* x) {
+        if (!n)
+            return x;
+        if (x->lo < n->lo) {
+            n->left = insert_node(n->left, x);
+            if (n->left->priority > n->priority)
+                return rotate_right(n);
+        } else {
+            n->right = insert_node(n->right, x);
+            if (n->right->priority > n->priority)
+                return rotate_left(n);
+        }
+        update(n);
+        return n;
+    }
+
+    template <typename F>
+    static void stab_node(Node* n, const std::string& key, F& f) {
+        // No interval below n can contain key once key >= subtree max hi.
+        if (!n || !key_below(key, n->max_hi))
+            return;
+        stab_node(n->left, key, f);
+        if (!(key < n->lo)) {
+            if (key_below(key, n->hi))
+                f(n->value);
+            // Right subtree keys have lo >= n->lo, so they may still
+            // start at or before `key`.
+            stab_node(n->right, key, f);
+        }
+        // Else every lo in the right subtree is > key: nothing to visit.
+    }
+
+    static void free_node(Node* n) {
+        while (n) {
+            free_node(n->left);
+            Node* r = n->right;
+            delete n;
+            n = r;
+        }
+    }
+};
+
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random numbers (splitmix64). Benchmarks depend on
+// run-to-run reproducibility, so no global or time-derived state.
+#ifndef PEQUOD_COMMON_RNG_HH
+#define PEQUOD_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace pequod {
+
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next() {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    // Uniform integer in [0, n); returns 0 when n == 0.
+    uint64_t below(uint64_t n) {
+        return n ? next() % n : 0;
+    }
+
+    // Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+}  // namespace pequod
+
+#endif

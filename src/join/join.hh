@@ -1,0 +1,164 @@
+// Cache-join patterns and specs (DESIGN.md §2). A pattern is a key
+// template mixing literals with named slots: `t|<user>|<time:10>|<poster>`.
+// A slot with a width matches exactly that many bytes; a slot without one
+// matches up to the next literal character. A join spec binds a sink
+// pattern to an ordered list of source patterns:
+//
+//     t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>
+//
+// `check` sources filter and bind slots; `copy` sources supply the value
+// stored under the expanded sink key and must come after every check
+// source (a check-only join stores the final check source's value). A
+// leading `pull` marks the join as unmaintained: scans recompute results
+// on every access instead of materializing and eagerly maintaining them.
+#ifndef PEQUOD_JOIN_JOIN_HH
+#define PEQUOD_JOIN_JOIN_HH
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/base.hh"
+
+namespace pequod {
+
+enum { kMaxSlots = 5 };
+
+// Interns slot names so all patterns of one join agree on slot ids.
+class SlotTable {
+  public:
+    int find(const std::string& name) const;  // -1 when unknown
+    int find_or_create(const std::string& name);
+    int size() const {
+        return static_cast<int>(names_.size());
+    }
+    const std::string& name(int slot) const {
+        return names_[static_cast<size_t>(slot)];
+    }
+
+  private:
+    std::vector<std::string> names_;
+};
+
+// A partial assignment of slot values accumulated while matching keys.
+class SlotSet {
+  public:
+    void bind(int slot, std::string value) {
+        if (slot < 0 || slot >= kMaxSlots)
+            throw std::out_of_range("SlotSet::bind: bad slot index");
+        values_[static_cast<size_t>(slot)] = std::move(value);
+        mask_ |= 1u << slot;
+    }
+    bool has(int slot) const {
+        return slot >= 0 && slot < kMaxSlots && (mask_ >> slot) & 1;
+    }
+    const std::string& operator[](int slot) const {
+        return values_[static_cast<size_t>(slot)];
+    }
+    unsigned mask() const {
+        return mask_;
+    }
+
+  private:
+    std::array<std::string, kMaxSlots> values_;
+    unsigned mask_ = 0;
+};
+
+struct KeyRange {
+    std::string lo;
+    std::string hi;  // exclusive; empty == +infinity
+};
+
+class Pattern {
+  public:
+    // Throws std::runtime_error on malformed text (unclosed slot, bad
+    // width, more than kMaxSlots distinct names).
+    static Pattern parse(const std::string& text, SlotTable& slots);
+
+    // Match `key`, binding unbound slots into `ss`. Slots already bound
+    // in `ss` must match the key byte-for-byte. False on any mismatch,
+    // including a width mismatch or trailing key bytes.
+    bool match(const std::string& key, SlotSet& ss) const;
+
+    // The slots that every key in [lo, hi) provably agrees on, taken from
+    // the longest prefix of `lo` that is constant across the range.
+    SlotSet derive_slot_set(const std::string& lo,
+                            const std::string& hi) const;
+
+    // The smallest key range containing every key this pattern can
+    // produce under the bindings in `ss`.
+    KeyRange containing_range(const SlotSet& ss) const;
+
+    // Build the key for a fully bound slot set; throws if a slot this
+    // pattern uses is unbound.
+    std::string expand(const SlotSet& ss) const;
+
+    bool has_slot(int slot) const {
+        return (slot_mask_ >> slot) & 1;
+    }
+    unsigned slot_mask() const {
+        return slot_mask_;
+    }
+    // Leading literal, e.g. "t|" — the pattern's table prefix.
+    const std::string& table_prefix() const {
+        return table_prefix_;
+    }
+    const std::string& text() const {
+        return text_;
+    }
+
+  private:
+    struct Element {
+        std::string literal;  // used when slot < 0
+        int slot = -1;
+        int width = 0;  // 0 == unbounded
+    };
+    std::vector<Element> elements_;
+    std::string table_prefix_;
+    std::string text_;
+    unsigned slot_mask_ = 0;
+};
+
+enum class SourceOp { kCheck, kCopy };
+
+class Join {
+  public:
+    // Throws std::runtime_error on grammar or consistency errors (e.g. a
+    // sink slot no source can bind).
+    void parse(const std::string& spec);
+
+    const Pattern& sink() const {
+        return sink_;
+    }
+    int nsource() const {
+        return static_cast<int>(sources_.size());
+    }
+    const Pattern& source(int i) const {
+        return sources_[static_cast<size_t>(i)].second;
+    }
+    SourceOp source_op(int i) const {
+        return sources_[static_cast<size_t>(i)].first;
+    }
+    // False for `pull` joins, which are recomputed on every scan.
+    bool maintained() const {
+        return maintained_;
+    }
+    SlotTable& slots() {
+        return slots_;
+    }
+    const SlotTable& slots() const {
+        return slots_;
+    }
+
+  private:
+    Pattern sink_;
+    std::vector<std::pair<SourceOp, Pattern>> sources_;
+    bool maintained_ = true;
+    SlotTable slots_;
+};
+
+}  // namespace pequod
+
+#endif

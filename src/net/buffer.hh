@@ -1,0 +1,78 @@
+// Wire buffer with the varint codec used by the (future) RPC layer and by
+// the modeled-message accounting in the comparison benches. LEB128-style:
+// seven payload bits per byte, low bits first, high bit marks
+// continuation; a uint64 takes 1..10 bytes.
+#ifndef PEQUOD_NET_BUFFER_HH
+#define PEQUOD_NET_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pequod {
+namespace net {
+
+class Buffer {
+  public:
+    void write_varint(uint64_t v) {
+        while (v >= 0x80) {
+            data_.push_back(static_cast<uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        data_.push_back(static_cast<uint8_t>(v));
+    }
+
+    // Reads the next varint; stops cleanly at the end of the buffer and at
+    // the 10-byte maximum encoding of a uint64.
+    uint64_t read_varint() {
+        uint64_t v = 0;
+        int shift = 0;
+        while (pos_ < data_.size() && shift < 64) {
+            uint8_t b = data_[pos_++];
+            v |= static_cast<uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                break;
+            shift += 7;
+        }
+        return v;
+    }
+
+    void write_string(const std::string& s) {
+        write_varint(s.size());
+        data_.insert(data_.end(), s.begin(), s.end());
+    }
+
+    std::string read_string() {
+        uint64_t n = read_varint();
+        if (n > data_.size() - pos_)
+            n = data_.size() - pos_;
+        std::string s(reinterpret_cast<const char*>(data_.data()) + pos_,
+                      static_cast<size_t>(n));
+        pos_ += static_cast<size_t>(n);
+        return s;
+    }
+
+    size_t size() const {
+        return data_.size();
+    }
+    size_t remaining() const {
+        return data_.size() - pos_;
+    }
+    const uint8_t* data() const {
+        return data_.data();
+    }
+    void clear() {
+        data_.clear();
+        pos_ = 0;
+    }
+
+  private:
+    std::vector<uint8_t> data_;
+    size_t pos_ = 0;
+};
+
+}  // namespace net
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,147 @@
+#include "store/store.hh"
+
+#include <stdexcept>
+
+namespace pequod {
+
+void Store::set_subtable_components(const std::string& prefix,
+                                    int components) {
+    if (prefix.empty() || components < 1)
+        throw std::invalid_argument("bad subtable spec");
+    if (stats_.entry_count != 0)
+        throw std::logic_error(
+            "set_subtable_components requires an empty store");
+    for (auto& spec : specs_) {
+        if (spec.first == prefix) {
+            spec.second = components;
+            return;
+        }
+        if (prefixes_overlap(spec.first, prefix))
+            throw std::logic_error("nested subtable prefixes: " + spec.first
+                                   + " vs " + prefix);
+    }
+    specs_.emplace_back(prefix, components);
+}
+
+size_t Store::group_length(const std::string& key) const {
+    for (const auto& spec : specs_) {
+        const std::string& prefix = spec.first;
+        if (key.size() < prefix.size()
+            || key.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        size_t pos = prefix.size();
+        for (int c = 0; c < spec.second; ++c) {
+            size_t bar = key.find('|', pos);
+            if (bar == std::string::npos)
+                return key.size();  // short key: the whole key is its group
+            pos = bar + 1;
+        }
+        return pos;
+    }
+    return 0;
+}
+
+Store::Subtable* Store::find_or_make_subtable(const std::string& group) {
+    auto hit = table_index_.find(group);
+    if (hit != table_index_.end())
+        return hit->second;
+    auto ins = tables_.emplace(group, Subtable());
+    Subtable* sub = &ins.first->second;
+    if (ins.second) {
+        sub->prefix = group;
+        ++stats_.subtable_count;
+        stats_.structure_bytes += kSubtableOverhead + 2 * group.size();
+    }
+    table_index_.emplace(group, sub);
+    return sub;
+}
+
+const Store::Subtable* Store::find_subtable(const std::string& group) const {
+    auto hit = table_index_.find(group);
+    return hit != table_index_.end() ? hit->second : nullptr;
+}
+
+Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
+                          const std::string& key, const std::string& value,
+                          Tree::iterator* out_pos, bool* inserted) {
+    size_t before = tree.size();
+    Tree::iterator it = use_hint ? tree.emplace_hint(hint_pos, key, Entry())
+                                 : tree.emplace(key, Entry()).first;
+    if (inserted)
+        *inserted = tree.size() != before;
+    if (tree.size() != before) {
+        ++stats_.entry_count;
+        stats_.key_bytes += key.size();
+        stats_.structure_bytes += kNodeOverhead;
+    } else {
+        stats_.value_bytes -= it->second.value().size();
+    }
+    it->second.set_value(value);
+    stats_.value_bytes += value.size();
+    *out_pos = it;
+    return &it->second;
+}
+
+Entry* Store::put(const std::string& key, const std::string& value,
+                  Hint* hint, bool* inserted) {
+    Tree::iterator pos;
+    // Hint fast path: reuse the previous put's tree when the key provably
+    // belongs there, skipping routing and the hash probe. The hinted
+    // position only biases emplace_hint — std::map inserts correctly
+    // regardless.
+    if (hint && hint->tree) {
+        const Subtable* sub = hint->table;
+        // A '|'-terminated group owns every key sharing its prefix, but a
+        // short-key group (no trailing separator) holds exactly one key —
+        // a longer key starting with it belongs to some other group.
+        bool routable = sub
+            ? key.size() >= sub->prefix.size()
+                  && key.compare(0, sub->prefix.size(), sub->prefix) == 0
+                  && (sub->prefix.back() == '|'
+                      || key.size() == sub->prefix.size())
+            : !enable_subtables_ || specs_.empty();
+        if (routable) {
+            Tree::iterator guess = hint->pos;
+            if (guess != hint->tree->end())
+                ++guess;  // appends land just after the previous entry
+            Entry* e = insert_into(*hint->tree, true, guess, key, value, &pos,
+                                   inserted);
+            hint->pos = pos;
+            return e;
+        }
+    }
+    Tree* tree = &tree_;
+    Subtable* sub = nullptr;
+    if (enable_subtables_) {
+        size_t glen = group_length(key);
+        if (glen) {
+            sub = find_or_make_subtable(key.substr(0, glen));
+            tree = &sub->tree;
+        }
+    }
+    Entry* e = insert_into(*tree, false, Tree::iterator(), key, value, &pos,
+                           inserted);
+    if (hint) {
+        hint->tree = tree;
+        hint->table = sub;
+        hint->pos = pos;
+    }
+    return e;
+}
+
+const Entry* Store::get_ptr(const std::string& key) const {
+    const Tree* tree = &tree_;
+    if (enable_subtables_) {
+        size_t glen = group_length(key);
+        if (glen) {
+            const Subtable* sub = find_subtable(key.substr(0, glen));
+            if (!sub)
+                return nullptr;
+            tree = &sub->tree;
+        }
+    }
+    auto it = tree->find(key);
+    return it != tree->end() ? &it->second : nullptr;
+}
+
+}  // namespace pequod

@@ -1,0 +1,172 @@
+// The ordered key/value store (DESIGN.md §5). One logical key space; keys
+// are flat '|'-separated strings. With subtables enabled, keys under a
+// configured table prefix (e.g. "t|" grouped by 1 component) are routed
+// into a small per-group tree found through a hash index, so operations
+// that stay inside one group — a timeline put or a short timeline scan —
+// hash O(1) to a tree of a few dozen entries instead of descending one
+// large tree of long keys (§4.1). Scans merge the main tree and subtable
+// blocks back into one ordered stream.
+#ifndef PEQUOD_STORE_STORE_HH
+#define PEQUOD_STORE_STORE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/base.hh"
+
+namespace pequod {
+
+// A stored datum. Wrapped (rather than a bare string) so per-key metadata
+// can grow without touching every call site.
+class Entry {
+  public:
+    Entry() = default;
+    explicit Entry(std::string value) : value_(std::move(value)) {}
+    const std::string& value() const {
+        return value_;
+    }
+    void set_value(const std::string& v) {
+        value_ = v;
+    }
+
+  private:
+    std::string value_;
+};
+
+// What Server::scan callbacks receive: a pointer to the stored (or, for
+// pull joins, freshly computed) value.
+using ValuePtr = const std::string*;
+
+struct MemoryStats {
+    size_t entry_count = 0;
+    size_t key_bytes = 0;        // key payload bytes
+    size_t value_bytes = 0;      // value payload bytes
+    size_t structure_bytes = 0;  // tree nodes, string headers, subtable
+                                 // directory + hash index bookkeeping
+    size_t subtable_count = 0;
+    size_t total() const {
+        return key_bytes + value_bytes + structure_bytes;
+    }
+};
+
+class Store {
+  public:
+    using Tree = std::map<std::string, Entry>;
+
+    struct Subtable {
+        std::string prefix;  // full group prefix, e.g. "t|00000042|"
+        Tree tree;
+    };
+
+    // Opaque insertion hint (§4.2 output hints). A valid hint remembers
+    // which tree the previous put landed in and where, letting a
+    // maintenance append skip the table routing and most of the tree
+    // descent. Wrong or stale hints only cost time, never correctness.
+    struct Hint {
+        Tree* tree = nullptr;  // nullptr => hint invalid
+        Subtable* table = nullptr;
+        Tree::iterator pos;
+    };
+
+    Store() = default;
+    explicit Store(bool enable_subtables)
+        : enable_subtables_(enable_subtables) {}
+
+    // Declare that keys under `prefix` are grouped into subtables by their
+    // next `components` '|'-separated components. Must be configured
+    // before any key under `prefix` is inserted; configured prefixes must
+    // not be nested. Recorded (but inert) when subtables are disabled.
+    void set_subtable_components(const std::string& prefix, int components);
+
+    bool subtables_enabled() const {
+        return enable_subtables_;
+    }
+
+    // Insert or overwrite. Returns the stored entry. With `hint`, tries
+    // the hinted tree/position first and refreshes the hint afterwards.
+    // `inserted` (when non-null) reports whether the key was new.
+    Entry* put(const std::string& key, const std::string& value,
+               Hint* hint = nullptr, bool* inserted = nullptr);
+
+    const Entry* get_ptr(const std::string& key) const;
+
+    // Visit all entries with lo <= key < hi in key order. An empty `hi`
+    // means +infinity. f(const std::string& key, const Entry&).
+    template <typename F>
+    void scan(const std::string& lo, const std::string& hi, F f) const;
+
+    const MemoryStats& memory_stats() const {
+        return stats_;
+    }
+    size_t size() const {
+        return stats_.entry_count;
+    }
+
+  private:
+    // Estimated allocator cost beyond payload bytes: a red-black node
+    // (3 pointers + color, padded) plus two std::string headers.
+    static constexpr size_t kNodeOverhead = 48 + 2 * sizeof(std::string);
+    // Directory node + Tree object + hash-index slot for one subtable.
+    static constexpr size_t kSubtableOverhead =
+        48 + sizeof(std::string) + sizeof(Subtable) + 64;
+
+    bool enable_subtables_ = true;
+    Tree tree_;  // keys not routed to any subtable
+    // Directory ordered by group prefix, so scans can walk subtable
+    // blocks in key order. std::map nodes give Subtables stable addresses
+    // for the hash index and for hints.
+    std::map<std::string, Subtable> tables_;
+    std::unordered_map<std::string, Subtable*> table_index_;
+    std::vector<std::pair<std::string, int>> specs_;
+    MemoryStats stats_;
+
+    // Length of `key`'s group prefix, or 0 when the key is not routed.
+    size_t group_length(const std::string& key) const;
+    Subtable* find_or_make_subtable(const std::string& group);
+    const Subtable* find_subtable(const std::string& group) const;
+    Entry* insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
+                       const std::string& key, const std::string& value,
+                       Tree::iterator* out_pos, bool* inserted);
+};
+
+template <typename F>
+void Store::scan(const std::string& lo, const std::string& hi, F f) const {
+    if (!hi.empty() && !(lo < hi))
+        return;
+    auto below_hi = [&hi](const std::string& key) {
+        return hi.empty() || key < hi;
+    };
+    auto mit = tree_.lower_bound(lo);
+    // Find the first subtable block that can intersect [lo, hi): either
+    // the block lo falls inside, or the first block starting at/after lo.
+    auto dit = tables_.upper_bound(lo);
+    if (dit != tables_.begin()) {
+        auto prev = std::prev(dit);
+        if (lo.size() >= prev->first.size()
+            && lo.compare(0, prev->first.size(), prev->first) == 0)
+            dit = prev;
+    }
+    // Main-tree keys never sort inside a subtable block (they would have
+    // been routed), so emitting whole blocks between main-tree runs keeps
+    // global key order.
+    for (; dit != tables_.end() && below_hi(dit->first); ++dit) {
+        for (; mit != tree_.end() && below_hi(mit->first)
+               && mit->first < dit->first;
+             ++mit)
+            f(mit->first, mit->second);
+        const Tree& t = dit->second.tree;
+        for (auto it = t.lower_bound(lo); it != t.end() && below_hi(it->first);
+             ++it)
+            f(it->first, it->second);
+    }
+    for (; mit != tree_.end() && below_hi(mit->first); ++mit)
+        f(mit->first, mit->second);
+}
+
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,596 @@
+// Unit tests for the cache-join engine: pattern grammar, interval map
+// stabbing, the wire codec, store routing, and end-to-end join
+// materialization / eager maintenance on a Server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/graph.hh"
+#include "common/base.hh"
+#include "common/interval_map.hh"
+#include "common/rng.hh"
+#include "core/server.hh"
+#include "join/join.hh"
+#include "net/buffer.hh"
+#include "store/store.hh"
+
+namespace pequod {
+namespace {
+
+TEST(Base, PadNumber) {
+    EXPECT_EQ(pad_number(0, 4), "0000");
+    EXPECT_EQ(pad_number(42, 6), "000042");
+    EXPECT_EQ(pad_number(1234567, 4), "1234567");
+}
+
+TEST(Base, PrefixSuccessor) {
+    EXPECT_EQ(prefix_successor("a"), "b");
+    EXPECT_EQ(prefix_successor("t|ann|"), "t|ann}");
+    EXPECT_EQ(prefix_successor(std::string("a\xff")), "b");
+    EXPECT_EQ(prefix_successor(std::string("\xff")), "");
+    EXPECT_LT(std::string("t|ann|zzz"), prefix_successor("t|ann|"));
+}
+
+TEST(Pattern, ParseMatchRoundTrip) {
+    SlotTable slots;
+    Pattern p = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    EXPECT_EQ(p.table_prefix(), "t|");
+    SlotSet ss;
+    ASSERT_TRUE(p.match("t|ann|0000000100|bob", ss));
+    EXPECT_EQ(ss[slots.find("user")], "ann");
+    EXPECT_EQ(ss[slots.find("time")], "0000000100");
+    EXPECT_EQ(ss[slots.find("poster")], "bob");
+    EXPECT_EQ(p.expand(ss), "t|ann|0000000100|bob");
+}
+
+TEST(Pattern, WidthMismatchRejected) {
+    SlotTable slots;
+    Pattern p = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    SlotSet ss;
+    // The time component is 3 bytes, not 10.
+    EXPECT_FALSE(p.match("t|ann|100|bob", ss));
+    SlotSet ss2;
+    // Too short overall.
+    EXPECT_FALSE(p.match("t|ann|0000000100", ss2));
+    SlotSet ss3;
+    // Wrong table literal.
+    EXPECT_FALSE(p.match("x|ann|0000000100|bob", ss3));
+}
+
+TEST(Pattern, BoundSlotMustAgree) {
+    SlotTable slots;
+    Pattern p = Pattern::parse("s|<u>|<p>", slots);
+    SlotSet ss;
+    ss.bind(slots.find_or_create("u"), "ann");
+    EXPECT_TRUE(p.match("s|ann|bob", ss));
+    SlotSet ss2;
+    ss2.bind(slots.find("u"), "eve");
+    EXPECT_FALSE(p.match("s|ann|bob", ss2));
+}
+
+TEST(Pattern, ParseErrors) {
+    SlotTable slots;
+    EXPECT_THROW(Pattern::parse("t|<user", slots), std::runtime_error);
+    EXPECT_THROW(Pattern::parse("t|<u:x>", slots), std::runtime_error);
+    EXPECT_THROW(Pattern::parse("t|<>", slots), std::runtime_error);
+}
+
+TEST(Pattern, DeriveSlotSet) {
+    SlotTable slots;
+    Pattern p = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    SlotSet ss = p.derive_slot_set("t|ann|0000000100", "t|ann}");
+    EXPECT_TRUE(ss.has(slots.find("user")));
+    EXPECT_EQ(ss[slots.find("user")], "ann");
+    EXPECT_FALSE(ss.has(slots.find("time")));
+    EXPECT_FALSE(ss.has(slots.find("poster")));
+    // Whole-table scan binds nothing.
+    SlotSet ss2 = p.derive_slot_set("t|", "t}");
+    EXPECT_EQ(ss2.mask(), 0u);
+    // An empty hi means +infinity: no prefix of lo is constant, so
+    // nothing may be bound.
+    SlotSet ss3 = p.derive_slot_set("t|ann|0000000100", "");
+    EXPECT_EQ(ss3.mask(), 0u);
+}
+
+TEST(Pattern, BindRejectsBadSlot) {
+    SlotTable slots;
+    SlotSet ss;
+    // SlotTable::find on an unknown name returns -1; bind must reject it
+    // rather than write out of bounds.
+    EXPECT_THROW(ss.bind(slots.find("missing"), "x"), std::out_of_range);
+    EXPECT_THROW(ss.bind(kMaxSlots, "x"), std::out_of_range);
+}
+
+TEST(Pattern, ContainingRange) {
+    SlotTable slots;
+    Pattern src = Pattern::parse("p|<poster>|<time:10>", slots);
+    SlotSet ss;
+    ss.bind(slots.find("poster"), "bob");
+    KeyRange r = src.containing_range(ss);
+    EXPECT_EQ(r.lo, "p|bob|");
+    EXPECT_EQ(r.hi, "p|bob}");
+    ss.bind(slots.find_or_create("time"), "0000000001");
+    KeyRange r2 = src.containing_range(ss);
+    EXPECT_EQ(r2.lo, "p|bob|0000000001");
+    EXPECT_LT(r2.lo, r2.hi);
+    EXPECT_LT(r2.hi, "p|bob|0000000001a");
+}
+
+TEST(Join, ParseSpec) {
+    Join j;
+    j.parse("t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>");
+    EXPECT_TRUE(j.maintained());
+    EXPECT_EQ(j.nsource(), 2);
+    EXPECT_EQ(j.source_op(0), SourceOp::kCheck);
+    EXPECT_EQ(j.source_op(1), SourceOp::kCopy);
+    EXPECT_EQ(j.sink().table_prefix(), "t|");
+
+    Join pull;
+    pull.parse("t|<u>|<ts:10>|<p> = pull check s|<u>|<p> copy p|<p>|<ts:10>");
+    EXPECT_FALSE(pull.maintained());
+}
+
+TEST(Join, ParseErrors) {
+    Join j;
+    EXPECT_THROW(j.parse("nonsense"), std::runtime_error);
+    Join j2;
+    EXPECT_THROW(j2.parse("t|<u> = bogus s|<u>"), std::runtime_error);
+    Join j3;
+    // Sink slot <x> is not bound by any source.
+    EXPECT_THROW(j3.parse("t|<u>|<x> = check s|<u>"), std::runtime_error);
+    Join j4;
+    // A check after a copy would override the copied value.
+    EXPECT_THROW(
+        j4.parse("d|<u>|<p> = copy v|<p>|<u> check s|<u>|<p>"),
+        std::runtime_error);
+}
+
+TEST(IntervalMap, StabBoundaries) {
+    IntervalMap<int> map;
+    map.insert("b", "d", 1);
+    int hits = 0;
+    std::vector<int> seen;
+    auto count = [&](const int& v) {
+        ++hits;
+        seen.push_back(v);
+    };
+    map.stab("a", count);
+    EXPECT_EQ(hits, 0);  // below lo
+    map.stab("b", count);
+    EXPECT_EQ(hits, 1);  // lo is inclusive
+    map.stab("c", count);
+    EXPECT_EQ(hits, 2);
+    map.stab("d", count);
+    EXPECT_EQ(hits, 2);  // hi is exclusive
+    map.stab("cz", count);
+    EXPECT_EQ(hits, 3);
+}
+
+TEST(IntervalMap, OverlapsAndInfinity) {
+    IntervalMap<int> map;
+    map.insert("b", "d", 1);
+    map.insert("b", "d", 2);  // duplicate range
+    map.insert("a", "z", 3);
+    map.insert("c", "", 4);  // empty hi == +infinity
+    std::vector<int> seen;
+    map.stab("c", [&](const int& v) { seen.push_back(v); });
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+    seen.clear();
+    map.stab("zzzz", [&](const int& v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<int>{4}));
+}
+
+TEST(IntervalMap, MatchesBruteForce) {
+    IntervalMap<int> map;
+    std::vector<std::pair<std::string, std::string>> intervals;
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+        std::string lo = "k|" + pad_number(rng.below(500), 4);
+        std::string hi = "k|" + pad_number(rng.below(500) + 500, 4);
+        map.insert(lo, hi, i);
+        intervals.emplace_back(lo, hi);
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+        std::string key = "k|" + pad_number(rng.below(1100), 4);
+        std::vector<int> got;
+        map.stab(key, [&](const int& v) { got.push_back(v); });
+        std::vector<int> want;
+        for (int i = 0; i < 400; ++i)
+            if (intervals[i].first <= key && key < intervals[i].second)
+                want.push_back(i);
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, want) << "key " << key;
+    }
+}
+
+TEST(Buffer, VarintEdgeValues) {
+    const uint64_t values[] = {0,
+                               1,
+                               127,
+                               128,
+                               300,
+                               (1ull << 32) - 1,
+                               1ull << 63,
+                               ~0ull};
+    net::Buffer b;
+    for (uint64_t v : values)
+        b.write_varint(v);
+    for (uint64_t v : values)
+        EXPECT_EQ(b.read_varint(), v);
+    EXPECT_EQ(b.remaining(), 0u);
+
+    net::Buffer small;
+    small.write_varint(0);
+    EXPECT_EQ(small.size(), 1u);
+    net::Buffer big;
+    big.write_varint(1ull << 63);
+    EXPECT_EQ(big.size(), 10u);
+}
+
+TEST(Buffer, Strings) {
+    net::Buffer b;
+    b.write_string("hello");
+    b.write_string("");
+    b.write_string("world");
+    EXPECT_EQ(b.read_string(), "hello");
+    EXPECT_EQ(b.read_string(), "");
+    EXPECT_EQ(b.read_string(), "world");
+}
+
+std::vector<std::string> scan_keys(Store& store, const std::string& lo,
+                                   const std::string& hi) {
+    std::vector<std::string> keys;
+    store.scan(lo, hi, [&](const std::string& k, const Entry&) {
+        keys.push_back(k);
+    });
+    return keys;
+}
+
+TEST(Store, PutGetScan) {
+    Store store;
+    store.put("b", "2");
+    store.put("a", "1");
+    store.put("c", "3");
+    ASSERT_NE(store.get_ptr("b"), nullptr);
+    EXPECT_EQ(store.get_ptr("b")->value(), "2");
+    EXPECT_EQ(store.get_ptr("zzz"), nullptr);
+    EXPECT_EQ(scan_keys(store, "a", "c"),
+              (std::vector<std::string>{"a", "b"}));
+    store.put("b", "override");
+    EXPECT_EQ(store.get_ptr("b")->value(), "override");
+    EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(Store, SubtableRoutingMatchesFlat) {
+    // Identical contents must scan identically with and without
+    // subtables, including scans that cross group boundaries.
+    Store flat(false);
+    Store grouped(true);
+    grouped.set_subtable_components("t|", 1);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        std::string key = "t|" + pad_number(rng.below(37), 4) + "|"
+            + pad_number(static_cast<uint64_t>(i), 8);
+        flat.put(key, "v");
+        grouped.put(key, "v");
+    }
+    flat.put("s|other|key", "v");
+    grouped.put("s|other|key", "v");
+    EXPECT_EQ(scan_keys(flat, "", ""), scan_keys(grouped, "", ""));
+    EXPECT_EQ(scan_keys(flat, "t|0003", "t|0009"),
+              scan_keys(grouped, "t|0003", "t|0009"));
+    EXPECT_EQ(scan_keys(flat, "t|0010|", "t|0010}"),
+              scan_keys(grouped, "t|0010|", "t|0010}"));
+    EXPECT_EQ(grouped.get_ptr("s|other|key")->value(), "v");
+    EXPECT_GT(grouped.memory_stats().subtable_count, 0u);
+    EXPECT_GT(grouped.memory_stats().total(),
+              flat.memory_stats().total());
+}
+
+TEST(Store, HintedPutsMatchPlainPuts) {
+    Store plain(true);
+    plain.set_subtable_components("t|", 1);
+    Store hinted(true);
+    hinted.set_subtable_components("t|", 1);
+    Store::Hint hint;
+    for (int i = 0; i < 500; ++i) {
+        std::string key = "t|user42|" + pad_number(static_cast<uint64_t>(i), 8);
+        plain.put(key, "v");
+        hinted.put(key, "v", &hint);
+    }
+    // A key outside the hinted group must still route correctly.
+    hinted.put("t|other|00000001", "w", &hint);
+    plain.put("t|other|00000001", "w");
+    EXPECT_EQ(scan_keys(plain, "t|", "t}"), scan_keys(hinted, "t|", "t}"));
+}
+
+TEST(Store, HintCannotMisrouteAcrossGroups) {
+    Store store(true);
+    store.set_subtable_components("t|", 1);
+    Store::Hint hint;
+    // "t|ann" is a short-key singleton group; a longer key sharing that
+    // byte prefix belongs to group "t|ann|" and must not follow the hint.
+    store.put("t|ann", "short", &hint);
+    store.put("t|ann|00000001", "long", &hint);
+    ASSERT_NE(store.get_ptr("t|ann|00000001"), nullptr);
+    EXPECT_EQ(store.get_ptr("t|ann|00000001")->value(), "long");
+    ASSERT_NE(store.get_ptr("t|ann"), nullptr);
+    EXPECT_EQ(store.get_ptr("t|ann")->value(), "short");
+    EXPECT_EQ(scan_keys(store, "t|", "t}"),
+              (std::vector<std::string>{"t|ann", "t|ann|00000001"}));
+}
+
+constexpr const char* kTimelineJoin =
+    "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>";
+
+std::vector<std::string> timeline(Server& server, const std::string& user) {
+    std::vector<std::string> keys;
+    std::string lo = "t|" + user + "|";
+    server.scan(lo, prefix_successor(lo),
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    return keys;
+}
+
+TEST(Server, MaterializesJoinOutputOnScan) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("s|ann|eve", "1");
+    server.put("p|bob|0000000001", "hi from bob");
+    server.put("p|eve|0000000002", "hi from eve");
+    server.put("p|zed|0000000003", "not followed");
+    auto keys = timeline(server, "ann");
+    EXPECT_EQ(keys, (std::vector<std::string>{"t|ann|0000000001|bob",
+                                              "t|ann|0000000002|eve"}));
+    // The copied value comes from the copy source.
+    std::vector<std::string> values;
+    server.scan("t|ann|", "t|ann}",
+                [&](const std::string&, const ValuePtr& v) {
+                    values.push_back(*v);
+                });
+    EXPECT_EQ(values, (std::vector<std::string>{"hi from bob",
+                                                "hi from eve"}));
+    EXPECT_EQ(server.materialization_count(), 1u);
+    // A second scan is served from the materialized range.
+    timeline(server, "ann");
+    EXPECT_EQ(server.materialization_count(), 1u);
+}
+
+TEST(Server, EagerUpdateAfterMaterialization) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "old post");
+    ASSERT_EQ(timeline(server, "ann").size(), 1u);
+    // A post AFTER materialization must appear without recomputation.
+    server.put("p|bob|0000000002", "fresh post");
+    auto keys = timeline(server, "ann");
+    EXPECT_EQ(keys, (std::vector<std::string>{"t|ann|0000000001|bob",
+                                              "t|ann|0000000002|bob"}));
+    EXPECT_EQ(server.materialization_count(), 1u);
+    EXPECT_GE(server.eager_update_count(), 1u);
+    // Posts by unfollowed users do not leak in.
+    server.put("p|zed|0000000003", "stranger");
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+}
+
+TEST(Server, NewSubscriptionBackfillsAndMaintains) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "bob 1");
+    server.put("p|eve|0000000002", "eve pre-follow");
+    ASSERT_EQ(timeline(server, "ann").size(), 1u);
+    // Following eve after materialization backfills her existing posts...
+    server.put("s|ann|eve", "1");
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+    // ...and her future posts are eagerly maintained too.
+    server.put("p|eve|0000000003", "eve post-follow");
+    EXPECT_EQ(timeline(server, "ann").size(), 3u);
+}
+
+TEST(Server, PullJoinRecomputesEveryScan) {
+    Server server;
+    server.add_join(
+        "t|<u>|<ts:10>|<p> = pull check s|<u>|<p> copy p|<p>|<ts:10>");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    EXPECT_EQ(timeline(server, "ann").size(), 1u);
+    server.put("p|bob|0000000002", "two");
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+    // Nothing is materialized or maintained.
+    EXPECT_EQ(server.materialization_count(), 0u);
+    EXPECT_EQ(server.updater_count(), 0u);
+    EXPECT_EQ(server.store().get_ptr("t|ann|0000000001|bob"), nullptr);
+}
+
+TEST(Server, SubrangeScanAfterMaterialization) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    for (int i = 1; i <= 5; ++i)
+        server.put("p|bob|" + pad_number(static_cast<uint64_t>(i), 10), "x");
+    ASSERT_EQ(timeline(server, "ann").size(), 5u);
+    // An incremental check (scan from a midpoint) reuses the valid range.
+    size_t n = 0;
+    server.scan("t|ann|0000000004", "t|ann}",
+                [&](const std::string&, const ValuePtr&) { ++n; });
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(server.materialization_count(), 1u);
+}
+
+TEST(Server, ConfigurationsAgree) {
+    // Subtables and output hints are pure optimizations: every
+    // combination must produce identical timelines.
+    std::vector<std::string> reference;
+    for (bool subtables : {true, false})
+        for (bool hints : {true, false}) {
+            ServerConfig cfg;
+            cfg.store.enable_subtables = subtables;
+            cfg.enable_output_hints = hints;
+            Server server(cfg);
+            server.set_subtable_components("t|", 1);
+            server.add_join(kTimelineJoin);
+            Rng rng(11);
+            auto u = [](uint64_t x) { return pad_number(x, 4); };
+            for (int f = 0; f < 30; ++f)
+                for (int k = 0; k < 4; ++k)
+                    server.put("s|" + u(f) + "|" + u(rng.below(30)), "1");
+            uint64_t now = 1;
+            for (int i = 0; i < 100; ++i)
+                server.put("p|" + u(rng.below(30)) + "|"
+                               + pad_number(now++, 10),
+                           "tweet");
+            // Materialize half the users, then keep posting.
+            for (int f = 0; f < 30; f += 2)
+                timeline(server, u(f));
+            for (int i = 0; i < 100; ++i)
+                server.put("p|" + u(rng.below(30)) + "|"
+                               + pad_number(now++, 10),
+                           "tweet");
+            std::vector<std::string> all;
+            for (int f = 0; f < 30; ++f)
+                for (const auto& k : timeline(server, u(f)))
+                    all.push_back(k);
+            if (reference.empty())
+                reference = all;
+            else
+                EXPECT_EQ(all, reference)
+                    << "subtables=" << subtables << " hints=" << hints;
+        }
+    EXPECT_FALSE(reference.empty());
+}
+
+TEST(Server, ChainedJoinsRejected) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    // A join reading another join's sink table would go silently stale
+    // (sink writes bypass the updater stab), so it must be rejected.
+    EXPECT_THROW(
+        server.add_join("z|<u>|<ts:10>|<p> = copy t|<u>|<ts:10>|<p>"),
+        std::runtime_error);
+    // So must a self-chain.
+    Server server2;
+    EXPECT_THROW(
+        server2.add_join("t|<u>|<ts:10> = copy t|x|<u>|<ts:10>"),
+        std::runtime_error);
+}
+
+TEST(Server, ScanSpanningTwoSinkTables) {
+    Server server;
+    server.add_join("c|<u>|<ts:10>|<p> = check q|<u>|<p> copy r|<p>|<ts:10>");
+    server.add_join(kTimelineJoin);
+    server.put("q|ann|bob", "1");
+    server.put("r|bob|0000000001", "r-val");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000002", "p-val");
+    // A scan covering both sink tables must materialize both joins.
+    std::vector<std::string> keys;
+    server.scan("c|", "u", [&](const std::string& k, const ValuePtr&) {
+        keys.push_back(k);
+    });
+    EXPECT_EQ(keys, (std::vector<std::string>{
+                        "c|ann|0000000001|bob", "p|bob|0000000002",
+                        "q|ann|bob", "r|bob|0000000001", "s|ann|bob",
+                        "t|ann|0000000002|bob"}));
+}
+
+TEST(Server, RepeatedSubscriptionPutDoesNotDuplicateUpdaters) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    ASSERT_EQ(timeline(server, "ann").size(), 1u);
+    size_t updaters = server.updater_count();
+    // Re-following (overwriting the same subscription key) must not
+    // install duplicate updaters or duplicate the eager fan-out.
+    for (int i = 0; i < 5; ++i)
+        server.put("s|ann|bob", "1");
+    EXPECT_EQ(server.updater_count(), updaters);
+    uint64_t eager_before = server.eager_update_count();
+    server.put("p|bob|0000000002", "two");
+    EXPECT_EQ(server.eager_update_count(), eager_before + 1);
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+}
+
+TEST(Server, RematerializationDoesNotDuplicateUpdaters) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    ASSERT_EQ(timeline(server, "ann").size(), 1u);
+    size_t per_user_updaters = server.updater_count();
+    // A whole-table scan recomputes uncovered regions; the updaters it
+    // would re-register for ann's already-materialized ranges must be
+    // deduplicated (only the broader unbound-slot ones are new).
+    size_t n = 0;
+    server.scan("t|", "t}",
+                [&](const std::string&, const ValuePtr&) { ++n; });
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(server.updater_count(), per_user_updaters + 1);
+    uint64_t eager_before = server.eager_update_count();
+    server.put("p|bob|0000000002", "two");
+    // One eager sink write, not one per duplicate updater.
+    EXPECT_EQ(server.eager_update_count(), eager_before + 1);
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+}
+
+TEST(Server, ScanSpanningPullJoinThrows) {
+    Server server;
+    server.add_join(
+        "t|<u>|<ts:10>|<p> = pull check s|<u>|<p> copy p|<p>|<ts:10>");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    // Confined scans work; a scan extending beyond the pull sink table
+    // cannot merge computed results into the store scan and must say so.
+    EXPECT_EQ(timeline(server, "ann").size(), 1u);
+    EXPECT_THROW(
+        server.scan("a", "z", [](const std::string&, const ValuePtr&) {}),
+        std::logic_error);
+}
+
+TEST(Graph, GenerateAndSample) {
+    apps::SocialGraph::Config cfg;
+    cfg.users = 200;
+    cfg.avg_following = 10;
+    auto graph = apps::SocialGraph::generate(cfg);
+    EXPECT_EQ(graph.user_count(), 200u);
+    EXPECT_GT(graph.edge_count(), 200u * 5);
+    uint64_t edges = 0;
+    for (uint32_t u = 0; u < graph.user_count(); ++u) {
+        for (uint32_t v : graph.following(u)) {
+            EXPECT_NE(v, u);
+            EXPECT_LT(v, graph.user_count());
+        }
+        edges += graph.following(u).size();
+    }
+    EXPECT_EQ(edges, graph.edge_count());
+    Rng rng(5);
+    std::vector<uint32_t> hits(graph.user_count(), 0);
+    for (int i = 0; i < 20000; ++i)
+        ++hits[graph.sample_poster(rng)];
+    // The most-followed users must post more than the long tail.
+    EXPECT_GT(hits[0], hits[graph.user_count() - 1]);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(1);
+    for (int i = 0; i < 1000; ++i) {
+        double x = c.uniform();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+        EXPECT_LT(c.below(10), 10u);
+    }
+}
+
+}  // namespace
+}  // namespace pequod
