@@ -69,7 +69,7 @@ Result run(bool subtables, uint32_t users, int ops) {
         }
     }
     double cpu = CpuTimer::now() - t0;
-    return {cpu, s.store().memory_stats().total()};
+    return {cpu, s.memory_stats().total()};
 }
 
 }  // namespace

@@ -44,6 +44,17 @@ inline bool prefixes_overlap(const std::string& a, const std::string& b) {
     return longer.compare(0, shorter.size(), shorter) == 0;
 }
 
+// The smaller of two exclusive upper bounds, where an empty bound means
+// +infinity.
+inline const std::string& min_bound(const std::string& a,
+                                    const std::string& b) {
+    if (a.empty())
+        return b;
+    if (b.empty())
+        return a;
+    return a < b ? a : b;
+}
+
 }  // namespace pequod
 
 #endif

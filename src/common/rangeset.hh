@@ -1,0 +1,65 @@
+// Coalesced set of half-open string ranges [lo, hi), with an empty hi
+// meaning +infinity. Used for a join's materialized (valid) sink ranges
+// and for a compute server's subscribed source ranges: both need "is
+// [lo, hi) fully covered?" and "add [lo, hi), merging overlaps" and
+// nothing else.
+#ifndef PEQUOD_COMMON_RANGESET_HH
+#define PEQUOD_COMMON_RANGESET_HH
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace pequod {
+
+class RangeSet {
+  public:
+    // True when [lo, hi) lies inside a single stored range. Stored ranges
+    // are coalesced, so covered-by-several implies covered-by-one.
+    bool covers(const std::string& lo, const std::string& hi) const {
+        auto it = ranges_.upper_bound(lo);
+        if (it == ranges_.begin())
+            return false;
+        --it;  // it->first <= lo
+        if (it->second.empty())
+            return true;
+        return !hi.empty() && hi <= it->second;
+    }
+
+    // Add [lo, hi), coalescing with every overlapping or adjacent range.
+    void add(std::string lo, std::string hi) {
+        auto first = ranges_.upper_bound(lo);
+        if (first != ranges_.begin()) {
+            auto prev = std::prev(first);
+            if (prev->second.empty() || prev->second >= lo)
+                first = prev;
+        }
+        auto last = first;
+        while (last != ranges_.end() && (hi.empty() || last->first <= hi)) {
+            if (last->first < lo)
+                lo = last->first;
+            if (!hi.empty() && (last->second.empty() || last->second > hi))
+                hi = last->second;
+            ++last;
+        }
+        ranges_.erase(first, last);
+        ranges_.emplace(std::move(lo), std::move(hi));
+    }
+
+    bool empty() const {
+        return ranges_.empty();
+    }
+    size_t size() const {
+        return ranges_.size();
+    }
+    const std::map<std::string, std::string>& ranges() const {
+        return ranges_;
+    }
+
+  private:
+    std::map<std::string, std::string> ranges_;  // lo -> hi, coalesced
+};
+
+}  // namespace pequod
+
+#endif

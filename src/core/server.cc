@@ -1,0 +1,440 @@
+#include "core/server.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pequod {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size()
+        && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+Table& Server::table_for(const std::string& key) {
+    auto it = tables_.upper_bound(key);
+    if (it != tables_.begin()) {
+        --it;
+        if (starts_with(key, it->first))
+            return it->second;
+    }
+    return root_;
+}
+
+const Table& Server::table_for(const std::string& key) const {
+    auto it = tables_.upper_bound(key);
+    if (it != tables_.begin()) {
+        --it;
+        if (starts_with(key, it->first))
+            return it->second;
+    }
+    return root_;
+}
+
+// First directory entry whose block [prefix, prefix_successor(prefix))
+// can intersect a range starting at `lo`: the block containing lo, else
+// the first block at or after it.
+Server::TableMap::iterator Server::first_overlapping(const std::string& lo) {
+    auto it = tables_.upper_bound(lo);
+    if (it != tables_.begin()) {
+        auto prev = std::prev(it);
+        if (starts_with(lo, prev->first))
+            it = prev;
+    }
+    return it;
+}
+
+Table& Server::make_table(const std::string& prefix) {
+    auto it = tables_.find(prefix);
+    if (it != tables_.end())
+        return it->second;
+    // Callers pre-check prefix conflicts; enforce the non-nesting
+    // invariant anyway, since routing and merged scans both rely on it.
+    auto up = tables_.upper_bound(prefix);
+    if (up != tables_.end() && starts_with(up->first, prefix))
+        throw std::logic_error("table prefixes conflict: " + up->first
+                               + " vs " + prefix);
+    if (up != tables_.begin() && starts_with(prefix, std::prev(up)->first))
+        throw std::logic_error("table prefixes conflict: "
+                               + std::prev(up)->first + " vs " + prefix);
+    Table& t = tables_
+                   .emplace(std::piecewise_construct,
+                            std::forward_as_tuple(prefix),
+                            std::forward_as_tuple(
+                                prefix, config_.store.enable_subtables))
+                   .first->second;
+    // Adopt keys put before this prefix was routed, so the table's store
+    // is the single home of its range from here on.
+    std::string hi = prefix_successor(prefix);
+    std::vector<std::pair<std::string, std::string>> moved;
+    root_.store().scan(prefix, hi,
+                       [&moved](const std::string& k, const Entry& e) {
+                           moved.emplace_back(k, e.value());
+                       });
+    if (!moved.empty()) {
+        root_.store().erase_range(prefix, hi);
+        for (const auto& kv : moved)
+            t.store().put(kv.first, kv.second);
+    }
+    return t;
+}
+
+void Server::set_subtable_components(const std::string& prefix,
+                                     int components) {
+    if (prefix.empty())
+        throw std::invalid_argument("bad subtable spec");
+    Table& t = table_for(prefix);
+    if (&t != &root_) {
+        // An existing table covers this prefix: group within its store.
+        t.store().set_subtable_components(prefix, components);
+        return;
+    }
+    auto up = tables_.lower_bound(prefix);
+    if (up != tables_.end() && starts_with(up->first, prefix))
+        throw std::logic_error("table prefixes conflict: " + up->first
+                               + " vs " + prefix);
+    make_table(prefix).store().set_subtable_components(prefix, components);
+}
+
+void Server::add_join(const std::string& spec) {
+    auto js = std::make_unique<Join>();
+    js->parse(spec);
+    const std::string& sink = js->sink().table_prefix();
+    for (int i = 0; i < js->nsource(); ++i)
+        if (js->source(i).table_prefix().empty())
+            throw std::runtime_error(
+                "source pattern needs a literal table prefix: " + spec);
+
+    // Existing joins, for sink-ownership, pull-chain, and cycle checks.
+    std::vector<const Join*> joins;
+    for (const auto& entry : tables_)
+        if (entry.second.is_sink())
+            joins.push_back(&entry.second.sink().join);
+
+    for (const Join* other : joins) {
+        const std::string& other_sink = other->sink().table_prefix();
+        if (prefixes_overlap(other_sink, sink))
+            throw std::runtime_error("a join already owns sink table '"
+                                     + other_sink + "'");
+        // A pull sink is computed on demand and never stored, so there is
+        // nothing for a downstream join to scan or stab: reject reads of
+        // it in either installation order.
+        if (!other->maintained())
+            for (int i = 0; i < js->nsource(); ++i)
+                if (prefixes_overlap(js->source(i).table_prefix(),
+                                     other_sink))
+                    throw std::runtime_error(
+                        "a pull join's sink table '" + other_sink
+                        + "' cannot feed another join");
+        if (!js->maintained())
+            for (int i = 0; i < other->nsource(); ++i)
+                if (prefixes_overlap(other->source(i).table_prefix(), sink))
+                    throw std::runtime_error(
+                        "a pull join's sink table '" + sink
+                        + "' cannot feed another join");
+    }
+
+    // Chained joins are supported — every write routes through the owning
+    // table and stabs its updaters, so derived writes maintain downstream
+    // joins like client puts — but a dependency cycle would make
+    // materialization (and pull recomputation) non-terminating: reject.
+    joins.push_back(js.get());
+    size_t self = joins.size() - 1;
+    auto depends = [&joins](size_t a, size_t b) {
+        const std::string& b_sink = joins[b]->sink().table_prefix();
+        for (int i = 0; i < joins[a]->nsource(); ++i)
+            if (prefixes_overlap(joins[a]->source(i).table_prefix(), b_sink))
+                return true;
+        return false;
+    };
+    std::vector<size_t> stack{self};
+    std::vector<bool> visited(joins.size(), false);
+    while (!stack.empty()) {
+        size_t at = stack.back();
+        stack.pop_back();
+        for (size_t next = 0; next < joins.size(); ++next) {
+            if (!depends(at, next))
+                continue;
+            if (next == self)
+                throw std::runtime_error("join cycle unsupported: " + spec);
+            if (!visited[next]) {
+                visited[next] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+
+    // Pre-check table conflicts so a rejected spec creates no tables.
+    for (const auto& entry : tables_) {
+        if (entry.first != sink && prefixes_overlap(entry.first, sink))
+            throw std::runtime_error("sink table '" + sink
+                                     + "' conflicts with table '"
+                                     + entry.first + "'");
+        for (int i = 0; i < js->nsource(); ++i) {
+            const std::string& src = js->source(i).table_prefix();
+            // A source may read within an existing (broader) table, but a
+            // source range spanning several tables cannot be routed.
+            if (entry.first.size() > src.size()
+                && starts_with(entry.first, src))
+                throw std::runtime_error("source table '" + src
+                                         + "' conflicts with table '"
+                                         + entry.first + "'");
+        }
+    }
+    // Create source tables shortest-prefix first, so a broader source
+    // ("s|") becomes the covering table for a narrower one ("s|ann|").
+    std::vector<std::string> sources;
+    for (int i = 0; i < js->nsource(); ++i)
+        sources.push_back(js->source(i).table_prefix());
+    std::sort(sources.begin(), sources.end(),
+              [](const std::string& a, const std::string& b) {
+                  return a.size() < b.size();
+              });
+    for (const std::string& src : sources)
+        if (&table_for(src) == &root_)
+            make_table(src);
+    Table& sink_table = make_table(sink);
+    sink_table.attach_sink(std::move(*js));
+}
+
+void Server::put(const std::string& key, const std::string& value) {
+    write(key, value, nullptr);
+}
+
+Entry* Server::write(const std::string& key, const std::string& value,
+                     WriteHint* hint) {
+    Table* t = nullptr;
+    // Hint fast path: reuse the previous write's table when the key
+    // provably belongs there (prefixes never nest, so a prefix match is
+    // ownership), skipping the directory lookup.
+    if (hint && hint->table && hint->table != &root_
+        && starts_with(key, hint->table->prefix()))
+        t = hint->table;
+    if (!t) {
+        t = &table_for(key);
+        if (hint)
+            hint->table = t;
+    }
+    bool inserted = false;
+    Entry* e =
+        t->store().put(key, value, hint ? &hint->store : nullptr, &inserted);
+    // The unified write path: stab the owning table's updaters whether
+    // this write came from a client or from another join's emission, so
+    // chained joins stay eagerly fresh. Collect first, then apply:
+    // applying an update can install new updaters (e.g. a new
+    // check-source match pulls in a fresh copy range), and the interval
+    // map must not mutate mid-stab. The per-table scratch cannot be
+    // re-entered: recursion only descends into downstream tables, and
+    // cycles are rejected at add_join.
+    if (!t->updaters().empty()) {
+        std::vector<uint32_t>& hits = t->stab_scratch();
+        hits.clear();
+        t->updaters().stab(key, [&hits](const uint32_t& idx) {
+            hits.push_back(idx);
+        });
+        for (uint32_t idx : hits)
+            apply_update(*updaters_[idx], key, value, inserted);
+    }
+    return e;
+}
+
+void Server::scan_impl(const std::string& lo, const std::string& hi,
+                       const ScanRef& f) {
+    // Freshen every maintained sink the range overlaps; a scan may span
+    // several tables (or tables plus unrouted keys).
+    for (auto it = first_overlapping(lo);
+         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+        Table& t = it->second;
+        if (!t.is_sink())
+            continue;
+        std::string table_hi = prefix_successor(t.prefix());
+        if (!t.sink().join.maintained()) {
+            // Pull joins store nothing, so their results cannot be merged
+            // into the store scan below; support only confined scans.
+            bool confined = lo >= t.prefix()
+                && (table_hi.empty() || (!hi.empty() && hi <= table_hi));
+            if (!confined)
+                throw std::logic_error(
+                    "scan spanning a pull join's sink table '" + t.prefix()
+                    + "' is unsupported");
+            pull_scan(t, lo, hi, f);
+            return;
+        }
+        const std::string& mlo = lo < t.prefix() ? t.prefix() : lo;
+        const std::string& mhi = min_bound(table_hi, hi);
+        freshen_table(t, mlo, mhi);
+    }
+    raw_scan(lo, hi, [&f](const std::string& key, const Entry& e) {
+        ValuePtr v = &e.value();
+        f(key, v);
+    });
+}
+
+// Merge the root table's entries with the routed tables' blocks back
+// into one ordered stream. Routed keys always carry their table's
+// prefix, so emitting whole blocks between root runs keeps global key
+// order.
+void Server::raw_scan(const std::string& lo, const std::string& hi,
+                      const RawRef& f) {
+    std::string cursor = lo;
+    for (auto it = first_overlapping(lo);
+         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+        root_.store().scan(cursor, it->first, f);
+        std::string table_hi = prefix_successor(it->first);
+        it->second.store().scan(lo, min_bound(table_hi, hi), f);
+        if (table_hi.empty())
+            return;  // the block extends to +infinity
+        cursor = std::move(table_hi);
+    }
+    root_.store().scan(cursor, hi, f);
+}
+
+// Materialize any maintained sink overlapping [lo, hi) — the ranges a
+// join execution is about to consult, which may themselves be another
+// join's output. Pull sinks cannot appear here: reads of them are
+// rejected at add_join.
+void Server::freshen(const std::string& lo, const std::string& hi) {
+    for (auto it = first_overlapping(lo);
+         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+        Table& t = it->second;
+        if (!t.is_sink() || !t.sink().join.maintained())
+            continue;
+        std::string table_hi = prefix_successor(t.prefix());
+        const std::string& mlo = lo < t.prefix() ? t.prefix() : lo;
+        const std::string& mhi = min_bound(table_hi, hi);
+        freshen_table(t, mlo, mhi);
+    }
+}
+
+void Server::freshen_table(Table& sink_table, const std::string& lo,
+                           const std::string& hi) {
+    Table::Sink& sk = sink_table.sink();
+    if (sk.valid.covers(lo, hi))
+        return;
+    // Materialize at updater-range granularity: compute the whole sink
+    // range the scan's bound slots determine (typically one user's
+    // timeline), so follow-up scans of subranges hit the valid set and
+    // eager updates keep the entire range fresh.
+    SlotSet ss = sk.join.sink().derive_slot_set(lo, hi);
+    KeyRange out = sk.join.sink().containing_range(ss);
+    auto emit = [this](const std::string& key, const std::string& value) {
+        write(key, value, nullptr);
+    };
+    EmitRef emit_ref(emit);
+    execute(sink_table, 0, ss, true, emit_ref);
+    sk.valid.add(out.lo, out.hi);
+    ++stat_materializations_;
+}
+
+void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
+                     bool install_updaters, const EmitRef& emit) {
+    const Join& join = sink_table.sink().join;
+    const Pattern& pat = join.source(source_index);
+    KeyRange range = pat.containing_range(ss);
+    bool last = source_index + 1 == join.nsource();
+    // Let the distribution layer pull the range from its home server
+    // first (the observer may put keys re-entrantly), then materialize it
+    // locally if it is itself a maintained join's output.
+    if (observer_)
+        observer_(range.lo, range.hi);
+    freshen(range.lo, range.hi);
+    if (install_updaters) {
+        // An updater is determined by its source and bindings (the range
+        // derives from them); install each at most once.
+        std::string dedup(1, static_cast<char>(source_index));
+        for (int slot = 0; slot < kMaxSlots; ++slot) {
+            if (ss.has(slot)) {
+                dedup += '\1';
+                dedup += ss[slot];
+            }
+            dedup += '\0';
+        }
+        if (sink_table.sink().registered.insert(std::move(dedup)).second) {
+            updaters_.push_back(std::make_unique<Updater>(
+                Updater{&sink_table, source_index, ss, WriteHint()}));
+            table_for(range.lo).updaters().insert(
+                range.lo, range.hi,
+                static_cast<uint32_t>(updaters_.size() - 1));
+        }
+    }
+    // Source ranges never span tables: add_join gives every source prefix
+    // a covering table, so the containing range lives in one store.
+    table_for(range.lo)
+        .store()
+        .scan(range.lo, range.hi,
+              [&](const std::string& key, const Entry& e) {
+                  SlotSet bound = ss;
+                  if (!pat.match(key, bound))
+                      return;
+                  if (last)
+                      emit(join.sink().expand(bound), e.value());
+                  else
+                      execute(sink_table, source_index + 1, bound,
+                              install_updaters, emit);
+              });
+}
+
+void Server::apply_update(Updater& u, const std::string& key,
+                          const std::string& value, bool inserted) {
+    Table::Sink& sk = u.sink_table->sink();
+    SlotSet bound = u.bound;
+    if (!sk.join.source(u.source_index).match(key, bound))
+        return;
+    if (u.source_index + 1 == sk.join.nsource()) {
+        write(sk.join.sink().expand(bound), value,
+              config_.enable_output_hints ? &u.out : nullptr);
+        ++stat_eager_updates_;
+    } else if (!inserted) {
+        // Overwriting an existing non-final (check) key: its downstream
+        // ranges were already copied and registered when it first
+        // appeared; re-executing would install duplicate updaters.
+        return;
+    } else {
+        // A non-final source changed (e.g. a new subscription): run the
+        // rest of the join under the extended bindings, copying existing
+        // source entries and installing updaters for the new ranges.
+        auto emit = [this](const std::string& out_key,
+                           const std::string& out_value) {
+            write(out_key, out_value, nullptr);
+        };
+        EmitRef emit_ref(emit);
+        execute(*u.sink_table, u.source_index + 1, bound, true, emit_ref);
+    }
+}
+
+void Server::pull_scan(Table& sink_table, const std::string& lo,
+                       const std::string& hi, const ScanRef& f) {
+    std::map<std::string, std::string> results;
+    SlotSet ss = sink_table.sink().join.sink().derive_slot_set(lo, hi);
+    auto emit = [&results](const std::string& key, const std::string& value) {
+        results[key] = value;
+    };
+    EmitRef emit_ref(emit);
+    execute(sink_table, 0, ss, false, emit_ref);
+    for (auto it = results.lower_bound(lo); it != results.end(); ++it) {
+        if (!hi.empty() && !(it->first < hi))
+            break;
+        ValuePtr v = &it->second;
+        f(it->first, v);
+    }
+}
+
+MemoryStats Server::memory_stats() const {
+    MemoryStats total = root_.store().memory_stats();
+    for (const auto& entry : tables_) {
+        const MemoryStats& s = entry.second.store().memory_stats();
+        total.entry_count += s.entry_count;
+        total.key_bytes += s.key_bytes;
+        total.value_bytes += s.value_bytes;
+        total.structure_bytes += s.structure_bytes + kTableDirOverhead
+            + 2 * entry.first.size();
+        total.subtable_count += s.subtable_count;
+    }
+    return total;
+}
+
+}  // namespace pequod

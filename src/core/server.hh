@@ -1,0 +1,159 @@
+// The table-routed Pequod engine (DESIGN.md §3, §7). Clients put source
+// keys and scan ranges; the server partitions the key space into Tables
+// by prefix and funnels *every* write — client puts, join sink emission,
+// eager fan-out — through one write path that stores the entry in its
+// owning table and stabs that table's updater interval map. When a
+// scanned range belongs to a join's sink table, the server materializes
+// it on first access by executing the join over its sources (first
+// freshening any source that is itself a maintained sink), then keeps it
+// fresh: every source range consulted during execution registers an
+// updater, and later writes to that range — from clients or from another
+// join's emission — eagerly fan the change out into the materialized
+// sink entries (§3.2). Joins may therefore chain (a sink feeding further
+// joins); only cyclic specs and reads of a `pull` join's sink are
+// rejected. `pull` joins skip materialization and recompute on every
+// scan.
+#ifndef PEQUOD_CORE_SERVER_HH
+#define PEQUOD_CORE_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/base.hh"
+#include "common/fnref.hh"
+#include "core/table.hh"
+#include "join/join.hh"
+#include "store/store.hh"
+
+namespace pequod {
+
+struct ServerConfig {
+    struct StoreConfig {
+        bool enable_subtables = true;
+    };
+    StoreConfig store;
+    // §4.2: remember where each updater's previous output landed and hint
+    // the next insert there, skipping the tree descent on appends.
+    bool enable_output_hints = true;
+};
+
+class Server {
+  public:
+    // Called with every source range the engine is about to consult
+    // (materialization, backfill, pull recomputation). The distribution
+    // layer uses this to subscribe remote base ranges before the local
+    // scan runs; the observer may put keys into this server re-entrantly.
+    using SourceObserver =
+        std::function<void(const std::string& lo, const std::string& hi)>;
+
+    Server() : Server(ServerConfig()) {}
+    explicit Server(const ServerConfig& config)
+        : config_(config), root_("", config.store.enable_subtables) {}
+
+    void set_subtable_components(const std::string& prefix, int components);
+
+    // Install a join; throws std::runtime_error on a malformed spec, an
+    // already-owned sink table, a join cycle, or a read of a pull sink.
+    void add_join(const std::string& spec);
+
+    void put(const std::string& key, const std::string& value);
+
+    // Visit entries in [lo, hi) in key order, materializing join output
+    // first when needed. f(const std::string& key, const ValuePtr&).
+    template <typename F>
+    void scan(const std::string& lo, const std::string& hi, F&& f) {
+        FnRef<void(const std::string&, const ValuePtr&)> ref(f);
+        scan_impl(lo, hi, ref);
+    }
+
+    const Entry* get_ptr(const std::string& key) const {
+        return table_for(key).store().get_ptr(key);
+    }
+
+    void set_source_observer(SourceObserver observer) {
+        observer_ = std::move(observer);
+    }
+
+    // Aggregated over the root table and every routed table.
+    MemoryStats memory_stats() const;
+
+    // Introspection, mostly for tests and stats reporting.
+    size_t table_count() const {
+        return tables_.size();
+    }
+    size_t updater_count() const {
+        return updaters_.size();
+    }
+    uint64_t eager_update_count() const {
+        return stat_eager_updates_;
+    }
+    uint64_t materialization_count() const {
+        return stat_materializations_;
+    }
+
+  private:
+    using TableMap = std::map<std::string, Table>;
+    using ScanRef = FnRef<void(const std::string&, const ValuePtr&)>;
+    using RawRef = FnRef<void(const std::string&, const Entry&)>;
+    using EmitRef = FnRef<void(const std::string&, const std::string&)>;
+
+    // Write-path hint: the owning table from the previous write plus the
+    // in-table position hint, letting an eager append skip both the
+    // server-level table routing and most of the tree descent.
+    struct WriteHint {
+        Table* table = nullptr;
+        Store::Hint store;
+    };
+
+    // One registered maintenance obligation: "source `source_index` of
+    // the join materializing into `sink_table`, with these slots already
+    // bound, feeds materialized output". Stored behind unique_ptr so the
+    // output hint survives vector growth.
+    struct Updater {
+        Table* sink_table;
+        int source_index;
+        SlotSet bound;
+        WriteHint out;
+    };
+
+    // Estimated per-Table bookkeeping beyond its store's own accounting:
+    // the directory node plus the Table object itself.
+    static constexpr size_t kTableDirOverhead = 48 + sizeof(Table);
+
+    Table& table_for(const std::string& key);
+    const Table& table_for(const std::string& key) const;
+    TableMap::iterator first_overlapping(const std::string& lo);
+    Table& make_table(const std::string& prefix);
+    Entry* write(const std::string& key, const std::string& value,
+                 WriteHint* hint);
+    void scan_impl(const std::string& lo, const std::string& hi,
+                   const ScanRef& f);
+    void raw_scan(const std::string& lo, const std::string& hi,
+                  const RawRef& f);
+    void freshen(const std::string& lo, const std::string& hi);
+    void freshen_table(Table& sink_table, const std::string& lo,
+                       const std::string& hi);
+    void execute(Table& sink_table, int source_index, const SlotSet& ss,
+                 bool install_updaters, const EmitRef& emit);
+    void apply_update(Updater& u, const std::string& key,
+                      const std::string& value, bool inserted);
+    void pull_scan(Table& sink_table, const std::string& lo,
+                   const std::string& hi, const ScanRef& f);
+
+    ServerConfig config_;
+    Table root_;       // keys under no routed prefix
+    TableMap tables_;  // by prefix; prefixes never nest, so the directory
+                       // is also the block order for merged scans
+    std::vector<std::unique_ptr<Updater>> updaters_;
+    SourceObserver observer_;
+    uint64_t stat_eager_updates_ = 0;
+    uint64_t stat_materializations_ = 0;
+};
+
+}  // namespace pequod
+
+#endif

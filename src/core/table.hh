@@ -1,0 +1,101 @@
+// Per-table engine state (DESIGN.md §7). The server partitions the key
+// space by table prefix; each Table owns its tree(s) (a Store, whose
+// subtable layout handles the within-table grouping of §4.1), the
+// interval map of updaters registered over *this table's* source ranges,
+// and — when a join materializes into it — the join itself plus its
+// valid-range bookkeeping. Routing every write through the owning table
+// and stabbing that table's updater map is what lets a join consume
+// another join's sink: derived writes trigger downstream maintenance
+// exactly like client puts.
+#ifndef PEQUOD_CORE_TABLE_HH
+#define PEQUOD_CORE_TABLE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/interval_map.hh"
+#include "common/rangeset.hh"
+#include "join/join.hh"
+#include "store/store.hh"
+
+namespace pequod {
+
+class Table {
+  public:
+    // State of the join whose sink this table is (at most one; a second
+    // join claiming the same sink is rejected at add_join).
+    struct Sink {
+        Join join;
+        // Materialized sink ranges: scans inside them are served straight
+        // from the store.
+        RangeSet valid;
+        // Serialized (source index, bindings) of every installed updater,
+        // so overlapping materializations (e.g. a whole-table scan after
+        // per-user scans) cannot register duplicate maintenance work.
+        std::unordered_set<std::string> registered;
+    };
+
+    Table(std::string prefix, bool enable_subtables)
+        : prefix_(std::move(prefix)), store_(enable_subtables) {}
+    Table(const Table&) = delete;
+    Table& operator=(const Table&) = delete;
+
+    const std::string& prefix() const {
+        return prefix_;
+    }
+    Store& store() {
+        return store_;
+    }
+    const Store& store() const {
+        return store_;
+    }
+
+    bool is_sink() const {
+        return sink_ != nullptr;
+    }
+    Sink& sink() {
+        return *sink_;
+    }
+    const Sink& sink() const {
+        return *sink_;
+    }
+    // Install `join` as this table's producer; the caller has already
+    // rejected duplicate sinks.
+    void attach_sink(Join join) {
+        sink_ = std::make_unique<Sink>();
+        sink_->join = std::move(join);
+    }
+
+    // Updaters whose registered source range lies in this table, keyed by
+    // index into the server's updater vector. Only puts routed to this
+    // table can affect those ranges, so the per-table map keeps the stab
+    // for a sink-table write free unless a chained join actually reads it.
+    IntervalMap<uint32_t>& updaters() {
+        return updaters_;
+    }
+    const IntervalMap<uint32_t>& updaters() const {
+        return updaters_;
+    }
+
+    // Reused stab scratch. Safe to keep per-table: a write only re-enters
+    // the write path through a *downstream* table, and join cycles are
+    // rejected, so one table's scratch is never reused reentrantly.
+    std::vector<uint32_t>& stab_scratch() {
+        return stab_scratch_;
+    }
+
+  private:
+    std::string prefix_;  // "" for the root (unrouted-key) table
+    Store store_;
+    std::unique_ptr<Sink> sink_;
+    IntervalMap<uint32_t> updaters_;
+    std::vector<uint32_t> stab_scratch_;
+};
+
+}  // namespace pequod
+
+#endif

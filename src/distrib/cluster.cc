@@ -1,0 +1,331 @@
+#include "distrib/cluster.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/clock.hh"
+#include "join/join.hh"
+
+namespace pequod {
+namespace distrib {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.size() >= prefix.size()
+        && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+uint64_t fnv1a(const std::string& s) {
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+// The '|'-terminated table group of `key` under `prefix` — the sharding
+// unit, chosen so a group's range subscription and its later puts agree
+// on a home server.
+std::string table_group(const std::string& key, const std::string& prefix) {
+    size_t bar = key.find('|', prefix.size());
+    if (bar == std::string::npos)
+        return key;
+    return key.substr(0, bar + 1);
+}
+
+}  // namespace
+
+// ---- CpuMeter ---------------------------------------------------------------
+
+NodeStats* CpuMeter::enter(NodeStats* stats) {
+    double now = CpuTimer::now();
+    NodeStats* prev = current_;
+    if (current_)
+        current_->busy_seconds += now - mark_;
+    current_ = stats;
+    mark_ = now;
+    return prev;
+}
+
+void CpuMeter::leave(NodeStats* prev) {
+    double now = CpuTimer::now();
+    if (current_)
+        current_->busy_seconds += now - mark_;
+    current_ = prev;
+    mark_ = now;
+}
+
+// ---- Node -------------------------------------------------------------------
+
+Node::Node(Cluster& cluster)
+    : cluster_(cluster), id_(cluster.register_endpoint(this)) {}
+
+void Node::charge(size_t bytes) {
+    stats_.busy_seconds += cluster_.config().cpu_per_message
+        + static_cast<double>(bytes) * cluster_.config().cpu_per_byte;
+}
+
+void Node::deliver(int from, net::Message&& m, size_t bytes) {
+    NodeStats* prev = cluster_.meter().enter(&stats_);
+    ++stats_.messages;
+    charge(bytes);
+    handle(from, std::move(m));
+    cluster_.meter().leave(prev);
+}
+
+size_t Node::send(int to, const net::Message& m) {
+    size_t bytes = cluster_.network().send(id_, to, m);
+    charge(bytes);
+    if (cluster_.is_server(id_) && cluster_.is_server(to))
+        stats_.server_bytes += bytes;
+    return bytes;
+}
+
+size_t Node::post(int to, const net::Message& m) {
+    size_t bytes = cluster_.network().post(id_, to, m);
+    charge(bytes);
+    if (cluster_.is_server(id_) && cluster_.is_server(to))
+        stats_.server_bytes += bytes;
+    return bytes;
+}
+
+// ---- BaseServer -------------------------------------------------------------
+
+BaseServer::BaseServer(Cluster& cluster) : Node(cluster) {
+    for (const std::string& prefix : cluster.config().base_tables)
+        engine_.set_subtable_components(prefix, 1);
+}
+
+void BaseServer::handle(int from, net::Message&& m) {
+    switch (m.type) {
+    case net::MsgType::kPut:
+        handle_put(m.key, m.value);
+        break;
+    case net::MsgType::kSubscribe:
+        handle_subscribe(from, m.key, m.value);
+        break;
+    default:
+        throw std::logic_error("base server: unexpected message type");
+    }
+}
+
+void BaseServer::handle_put(const std::string& key,
+                            const std::string& value) {
+    engine_.put(key, value);
+    if (subscriptions_.empty())
+        return;
+    // One notification per subscribed compute server, even when several
+    // of its ranges contain the key.
+    stab_scratch_.clear();
+    subscriptions_.stab(key, [this](const int& compute_id) {
+        stab_scratch_.push_back(compute_id);
+    });
+    std::sort(stab_scratch_.begin(), stab_scratch_.end());
+    stab_scratch_.erase(
+        std::unique(stab_scratch_.begin(), stab_scratch_.end()),
+        stab_scratch_.end());
+    net::Message notify;
+    notify.type = net::MsgType::kNotify;
+    notify.items.emplace_back(key, value);
+    for (int compute_id : stab_scratch_)
+        post(compute_id, notify);
+}
+
+void BaseServer::handle_subscribe(int from, const std::string& lo,
+                                  const std::string& hi) {
+    std::string dedup = std::to_string(from) + '\1' + lo + '\1' + hi;
+    if (registered_.insert(std::move(dedup)).second)
+        subscriptions_.insert(lo, hi, from);
+    // Backfill the subscriber synchronously: its join execution is
+    // blocked on this range's current contents.
+    net::Message reply;
+    reply.type = net::MsgType::kNotify;
+    engine_.scan(lo, hi, [&reply](const std::string& k, const ValuePtr& v) {
+        reply.items.emplace_back(k, *v);
+    });
+    send(from, reply);
+}
+
+// ---- ComputeServer ----------------------------------------------------------
+
+ComputeServer::ComputeServer(Cluster& cluster) : Node(cluster) {
+    std::vector<std::string> sinks;
+    const std::string& specs = cluster.config().joins;
+    size_t pos = 0;
+    while (pos < specs.size()) {
+        size_t semi = specs.find(';', pos);
+        if (semi == std::string::npos)
+            semi = specs.size();
+        std::string spec = specs.substr(pos, semi - pos);
+        if (spec.find_first_not_of(" \t\n") != std::string::npos) {
+            engine_.add_join(spec);
+            Join parsed;
+            parsed.parse(spec);
+            sinks.push_back(parsed.sink().table_prefix());
+        }
+        pos = semi + 1;
+    }
+    // Group both the cached source shards and the sink tables by their
+    // first component (the per-user / per-poster trees of §4.1).
+    for (const std::string& prefix : cluster.config().base_tables)
+        engine_.set_subtable_components(prefix, 1);
+    for (const std::string& prefix : sinks)
+        engine_.set_subtable_components(prefix, 1);
+    engine_.set_source_observer(
+        [this](const std::string& lo, const std::string& hi) {
+            will_scan_source(lo, hi);
+        });
+}
+
+void ComputeServer::handle(int from, net::Message&& m) {
+    switch (m.type) {
+    case net::MsgType::kScan: {
+        net::Message reply;
+        reply.type = net::MsgType::kScanReply;
+        engine_.scan(m.key, m.value,
+                     [&reply](const std::string& k, const ValuePtr& v) {
+                         reply.items.emplace_back(k, *v);
+                     });
+        send(from, reply);
+        break;
+    }
+    case net::MsgType::kNotify:
+        // Updates for subscribed ranges (backfill or live); the engine's
+        // eager maintenance folds them into every materialized timeline.
+        stats_.busy_seconds += cluster_.config().cpu_per_update
+            * static_cast<double>(m.items.size());
+        for (const auto& kv : m.items)
+            engine_.put(kv.first, kv.second);
+        break;
+    default:
+        throw std::logic_error("compute server: unexpected message type");
+    }
+}
+
+void ComputeServer::will_scan_source(const std::string& lo,
+                                     const std::string& hi) {
+    if (!cluster_.is_base_range(lo))
+        return;  // a local table (e.g. a chained join's sink)
+    if (subscribed_.covers(lo, hi))
+        return;
+    subscribed_.add(lo, hi);
+    net::Message m;
+    m.type = net::MsgType::kSubscribe;
+    m.key = lo;
+    m.value = hi;
+    // The backfill arrives synchronously (as kNotify) before this
+    // returns, re-entering the engine with the range's current contents.
+    // A range confined to one table group has one home base server; a
+    // broader range (e.g. an unbound source scanning its whole table) is
+    // sharded across every base, so subscribe at all of them.
+    int home = cluster_.home_base_for_range(lo, hi);
+    if (home >= 0) {
+        send(home, m);
+    } else {
+        for (int b = 0; b < cluster_.config().base_servers; ++b)
+            send(b, m);
+    }
+}
+
+// ---- Client -----------------------------------------------------------------
+
+Client::Client(Cluster& cluster) : Node(cluster) {}
+
+void Client::put(const std::string& key, const std::string& value) {
+    NodeStats* prev = cluster_.meter().enter(&stats_);
+    net::Message m;
+    m.type = net::MsgType::kPut;
+    m.key = key;
+    m.value = value;
+    send(cluster_.home_base(key), m);
+    cluster_.meter().leave(prev);
+}
+
+void Client::scan(int server_id, const std::string& lo,
+                  const std::string& hi, ScanResult* out) {
+    NodeStats* prev = cluster_.meter().enter(&stats_);
+    ScanResult discard;
+    if (out)
+        out->clear();
+    pending_ = out ? out : &discard;
+    net::Message m;
+    m.type = net::MsgType::kScan;
+    m.key = lo;
+    m.value = hi;
+    send(server_id, m);
+    pending_ = nullptr;
+    cluster_.meter().leave(prev);
+}
+
+void Client::handle(int from, net::Message&& m) {
+    (void)from;
+    if (m.type == net::MsgType::kScanReply && pending_)
+        *pending_ = std::move(m.items);
+}
+
+// ---- Cluster ----------------------------------------------------------------
+
+Cluster::Cluster(const Config& config) : config_(config) {
+    if (config_.base_servers < 1 || config_.compute_servers < 1)
+        throw std::invalid_argument("cluster needs at least one server "
+                                    "per tier");
+    // Endpoint ids: bases [0, B), computes [B, B + C), then the client.
+    for (int i = 0; i < config_.base_servers; ++i)
+        bases_.push_back(std::make_unique<BaseServer>(*this));
+    for (int i = 0; i < config_.compute_servers; ++i)
+        computes_.push_back(std::make_unique<ComputeServer>(*this));
+    client_ = std::make_unique<Client>(*this);
+}
+
+void Cluster::put(const std::string& key, const std::string& value) {
+    client_->put(key, value);
+}
+
+void Cluster::settle() {
+    net_.drain();
+}
+
+ComputeServer& Cluster::compute_for(const std::string& affinity) {
+    size_t i = static_cast<size_t>(
+        fnv1a(affinity) % static_cast<uint64_t>(config_.compute_servers));
+    return *computes_[i];
+}
+
+int Cluster::home_base(const std::string& key) const {
+    for (const std::string& prefix : config_.base_tables)
+        if (starts_with(key, prefix))
+            return static_cast<int>(
+                fnv1a(table_group(key, prefix))
+                % static_cast<uint64_t>(config_.base_servers));
+    throw std::invalid_argument("no base table owns key '" + key + "'");
+}
+
+int Cluster::home_base_for_range(const std::string& lo,
+                                 const std::string& hi) const {
+    for (const std::string& prefix : config_.base_tables) {
+        if (!starts_with(lo, prefix))
+            continue;
+        std::string group = table_group(lo, prefix);
+        // One home server only when [lo, hi) stays inside lo's group —
+        // and lo actually names a group beyond the bare table prefix.
+        if (group.size() > prefix.size() && !hi.empty()
+            && hi <= prefix_successor(group))
+            return static_cast<int>(
+                fnv1a(group) % static_cast<uint64_t>(config_.base_servers));
+        return -1;
+    }
+    throw std::invalid_argument("no base table owns range from '" + lo
+                                + "'");
+}
+
+bool Cluster::is_base_range(const std::string& lo) const {
+    for (const std::string& prefix : config_.base_tables)
+        if (starts_with(lo, prefix))
+            return true;
+    return false;
+}
+
+}  // namespace distrib
+}  // namespace pequod

@@ -1,0 +1,228 @@
+// The sharded deployment of Fig 10 (§5.5, DESIGN.md §7): a backing tier
+// of base servers owns the source tables (sharded by table group), a
+// compute tier executes the join for client reads with per-user
+// affinity. The first time a compute server's join execution consults a
+// source range, it subscribes that range at its home base server and
+// synchronously backfills the current contents; subsequent base puts are
+// pushed to every subscribed compute server through the message layer,
+// where the local engine's eager maintenance folds them into
+// materialized timelines. Per-server CPU is attributed exclusively (a
+// process-wide meter switched at every message boundary) plus a modeled
+// per-message/per-byte cost, and inter-server traffic is accounted
+// separately from client traffic so the subscription share is reportable.
+#ifndef PEQUOD_DISTRIB_CLUSTER_HH
+#define PEQUOD_DISTRIB_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/interval_map.hh"
+#include "common/rangeset.hh"
+#include "core/server.hh"
+#include "net/network.hh"
+
+namespace pequod {
+namespace distrib {
+
+using ScanResult = std::vector<std::pair<std::string, std::string>>;
+
+struct NodeStats {
+    // Measured process CPU attributed while this node was handling work,
+    // plus the modeled per-message/per-byte handling cost.
+    double busy_seconds = 0;
+    // Bytes of server-to-server frames this node sent (subscription
+    // traffic); client frames are excluded, so summing server_bytes over
+    // all servers and dividing by Network total bytes yields the
+    // inter-server traffic share.
+    uint64_t server_bytes = 0;
+    uint64_t messages = 0;  // frames handled
+};
+
+class Cluster;
+
+// Exclusive CPU attribution across the simulated servers sharing this
+// process: whoever is "current" accrues elapsed CPU; every message
+// boundary switches.
+class CpuMeter {
+  public:
+    NodeStats* enter(NodeStats* stats);
+    void leave(NodeStats* prev);
+
+  private:
+    NodeStats* current_ = nullptr;
+    double mark_ = 0;
+};
+
+class Node : public net::Endpoint {
+  public:
+    explicit Node(Cluster& cluster);
+    int id() const {
+        return id_;
+    }
+    const NodeStats& stats() const {
+        return stats_;
+    }
+    void deliver(int from, net::Message&& m, size_t bytes) final;
+
+  protected:
+    virtual void handle(int from, net::Message&& m) = 0;
+    size_t send(int to, const net::Message& m);  // synchronous
+    size_t post(int to, const net::Message& m);  // queued until settle()
+    void charge(size_t bytes);
+
+    Cluster& cluster_;
+    int id_;
+    NodeStats stats_;
+};
+
+// Owns shards of the source tables. Absorbs all writes; pushes each to
+// the compute servers subscribed to a containing range.
+class BaseServer : public Node {
+  public:
+    explicit BaseServer(Cluster& cluster);
+    const Server& engine() const {
+        return engine_;
+    }
+
+  private:
+    void handle(int from, net::Message&& m) override;
+    void handle_put(const std::string& key, const std::string& value);
+    void handle_subscribe(int from, const std::string& lo,
+                          const std::string& hi);
+
+    Server engine_;
+    IntervalMap<int> subscriptions_;   // subscribed range -> compute id
+    std::set<std::string> registered_; // dedup of (subscriber, lo, hi)
+    std::vector<int> stab_scratch_;
+};
+
+// Executes the join for its share of users. Source data is a locally
+// cached copy kept fresh by subscriptions; the engine's source-scan
+// observer is the subscription trigger.
+class ComputeServer : public Node {
+  public:
+    explicit ComputeServer(Cluster& cluster);
+    const Server& engine() const {
+        return engine_;
+    }
+    size_t subscribed_range_count() const {
+        return subscribed_.size();
+    }
+
+  private:
+    void handle(int from, net::Message&& m) override;
+    void will_scan_source(const std::string& lo, const std::string& hi);
+
+    Server engine_;
+    RangeSet subscribed_;
+};
+
+// The workload driver's endpoint: issues puts to base servers and scans
+// to compute servers, so client traffic is framed and counted like
+// everything else.
+class Client : public Node {
+  public:
+    explicit Client(Cluster& cluster);
+    void put(const std::string& key, const std::string& value);
+    // Scan [lo, hi) at the compute server `server_id`; fills `out` with
+    // the returned entries when non-null.
+    void scan(int server_id, const std::string& lo, const std::string& hi,
+              ScanResult* out);
+
+  private:
+    void handle(int from, net::Message&& m) override;
+
+    ScanResult* pending_ = nullptr;
+};
+
+class Cluster {
+  public:
+    struct Config {
+        int base_servers = 4;
+        int compute_servers = 4;
+        // Table prefixes owned by the base tier; everything else (join
+        // sinks) lives at the compute servers.
+        std::vector<std::string> base_tables;
+        // ';'-separated join specs installed at every compute server.
+        std::string joins;
+        // Modeled CPU per frame handled/sent and per framed byte: the
+        // dispatch cost an in-process simulation would otherwise
+        // undercount. Deliberately dominant at bench scale so the
+        // reported shape is stable run to run.
+        double cpu_per_message = 2e-6;
+        double cpu_per_byte = 2e-9;
+        // Modeled CPU for applying one subscribed update to the local
+        // source cache — deserialization, subscription-index upkeep, and
+        // the allocator/cache pressure of the duplicated base data. This
+        // is the per-server cost that subscription duplication multiplies
+        // as the compute tier grows (§5.5's sublinearity).
+        double cpu_per_update = 10e-6;
+    };
+
+    explicit Cluster(const Config& config);
+
+    // Route a write to its home base server, through the client.
+    void put(const std::string& key, const std::string& value);
+    // Deliver queued notifications until quiescence.
+    void settle();
+
+    Client& client() {
+        return *client_;
+    }
+    BaseServer& base(int i) {
+        return *bases_[static_cast<size_t>(i)];
+    }
+    ComputeServer& compute(int i) {
+        return *computes_[static_cast<size_t>(i)];
+    }
+    // Per-user server affinity: the compute server owning `affinity`.
+    ComputeServer& compute_for(const std::string& affinity);
+    const net::Network& net() const {
+        return net_;
+    }
+
+    const Config& config() const {
+        return config_;
+    }
+    net::Network& network() {
+        return net_;
+    }
+    CpuMeter& meter() {
+        return meter_;
+    }
+    int register_endpoint(net::Endpoint* e) {
+        return net_.add_endpoint(e);
+    }
+    // The base server owning `key`'s table group (table prefix plus the
+    // next '|'-terminated component).
+    int home_base(const std::string& key) const;
+    // The single base server owning all of [lo, hi), or -1 when the
+    // range spans table groups and is therefore sharded across every
+    // base server.
+    int home_base_for_range(const std::string& lo,
+                            const std::string& hi) const;
+    bool is_server(int endpoint_id) const {
+        return endpoint_id
+            < config_.base_servers + config_.compute_servers;
+    }
+    // True when [lo, ...) addresses a base-tier table (a range the
+    // compute tier must subscribe rather than own).
+    bool is_base_range(const std::string& lo) const;
+
+  private:
+    Config config_;
+    net::Network net_;
+    CpuMeter meter_;
+    std::vector<std::unique_ptr<BaseServer>> bases_;
+    std::vector<std::unique_ptr<ComputeServer>> computes_;
+    std::unique_ptr<Client> client_;
+};
+
+}  // namespace distrib
+}  // namespace pequod
+
+#endif

@@ -1,0 +1,97 @@
+// Message frames for inter-server and client traffic (DESIGN.md §7).
+// Every frame is varint-framed over net::Buffer: a varint type tag, then
+// length-prefixed strings (and a varint item count for batched frames).
+// The distribution layer routes these through net::Network, whose
+// message and byte counters are what the benches report as modeled
+// traffic; encode/decode is a genuine round-trip, not an estimate.
+#ifndef PEQUOD_NET_MESSAGE_HH
+#define PEQUOD_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.hh"
+
+namespace pequod {
+namespace net {
+
+enum class MsgType : uint8_t {
+    kPut = 1,        // client -> base: store one key
+    kScan = 2,       // client -> compute: read a range
+    kScanReply = 3,  // compute -> client: the range contents
+    kSubscribe = 4,  // compute -> base: keep me fresh for a range
+    kNotify = 5,     // base -> compute: entries for a subscribed range
+                     // (a batch: the backfill reply, or one live put)
+};
+constexpr int kMsgTypeCount = 6;  // index space; tag 0 is never sent
+
+struct Message {
+    MsgType type = MsgType::kPut;
+    std::string key;    // kPut/: key; kScan/kSubscribe: range lo
+    std::string value;  // kPut: value; kScan/kSubscribe: range hi
+    std::vector<std::pair<std::string, std::string>> items;  // batched frames
+};
+
+inline void encode_message(Buffer& b, const Message& m) {
+    b.write_varint(static_cast<uint64_t>(m.type));
+    switch (m.type) {
+    case MsgType::kPut:
+    case MsgType::kScan:
+    case MsgType::kSubscribe:
+        b.write_string(m.key);
+        b.write_string(m.value);
+        break;
+    case MsgType::kScanReply:
+    case MsgType::kNotify:
+        b.write_varint(m.items.size());
+        for (const auto& kv : m.items) {
+            b.write_string(kv.first);
+            b.write_string(kv.second);
+        }
+        break;
+    }
+}
+
+// Reads one frame from `b`'s cursor. False on an empty buffer, an
+// unknown tag, or a batch count that cannot fit the remaining bytes.
+inline bool decode_message(Buffer& b, Message& m) {
+    if (b.remaining() == 0)
+        return false;
+    uint64_t tag = b.read_varint();
+    if (tag < 1 || tag >= kMsgTypeCount)
+        return false;
+    m.type = static_cast<MsgType>(tag);
+    m.key.clear();
+    m.value.clear();
+    m.items.clear();
+    switch (m.type) {
+    case MsgType::kPut:
+    case MsgType::kScan:
+    case MsgType::kSubscribe:
+        m.key = b.read_string();
+        m.value = b.read_string();
+        break;
+    case MsgType::kScanReply:
+    case MsgType::kNotify: {
+        uint64_t n = b.read_varint();
+        // Each item takes at least two bytes (two length varints).
+        if (n > b.remaining() / 2)
+            return false;
+        m.items.reserve(static_cast<size_t>(n));
+        for (uint64_t i = 0; i < n; ++i) {
+            std::string k = b.read_string();
+            std::string v = b.read_string();
+            m.items.emplace_back(std::move(k), std::move(v));
+        }
+        break;
+    }
+    }
+    return true;
+}
+
+}  // namespace net
+}  // namespace pequod
+
+#endif

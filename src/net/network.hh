@@ -1,0 +1,111 @@
+// The simulated network (DESIGN.md §7): endpoints addressed by small
+// integer ids, frames carried as encoded net::Buffers, and global
+// message/byte counters so traffic is modeled from real framed sizes
+// rather than hand-waved. Two delivery modes: send() dispatches
+// synchronously (request/response paths — a scan, a subscribe and its
+// backfill), post() enqueues until drain() (asynchronous notification
+// fan-out, batched like the paper's write propagation).
+#ifndef PEQUOD_NET_NETWORK_HH
+#define PEQUOD_NET_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.hh"
+#include "net/message.hh"
+
+namespace pequod {
+namespace net {
+
+class Endpoint {
+  public:
+    virtual ~Endpoint() = default;
+    // `bytes` is the framed size, for the receiver's modeled-cost
+    // accounting. Delivery may re-enter the network (replies, fan-out).
+    virtual void deliver(int from, Message&& m, size_t bytes) = 0;
+};
+
+struct NetStats {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    uint64_t messages_by_type[kMsgTypeCount] = {};
+};
+
+class Network {
+  public:
+    int add_endpoint(Endpoint* e) {
+        endpoints_.push_back(e);
+        return static_cast<int>(endpoints_.size()) - 1;
+    }
+
+    // Encode, count, and deliver immediately. Returns the framed bytes.
+    size_t send(int from, int to, const Message& m) {
+        Buffer b;
+        encode_message(b, m);
+        size_t bytes = account(m.type, b.size());
+        dispatch(from, to, std::move(b));
+        return bytes;
+    }
+
+    // Encode, count, and enqueue for the next drain().
+    size_t post(int from, int to, const Message& m) {
+        Buffer b;
+        encode_message(b, m);
+        size_t bytes = account(m.type, b.size());
+        queue_.push_back(Frame{from, to, std::move(b)});
+        return bytes;
+    }
+
+    // Deliver queued frames until quiescence (delivery may enqueue
+    // more). Returns whether anything was delivered.
+    bool drain() {
+        bool any = false;
+        while (!queue_.empty()) {
+            Frame f = std::move(queue_.front());
+            queue_.pop_front();
+            dispatch(f.from, f.to, std::move(f.buf));
+            any = true;
+        }
+        return any;
+    }
+
+    const NetStats& stats() const {
+        return stats_;
+    }
+
+  private:
+    struct Frame {
+        int from;
+        int to;
+        Buffer buf;
+    };
+
+    size_t account(MsgType type, size_t bytes) {
+        ++stats_.messages;
+        stats_.bytes += bytes;
+        ++stats_.messages_by_type[static_cast<int>(type)];
+        return bytes;
+    }
+
+    // Frames cross the wire format for real: decode what was encoded.
+    void dispatch(int from, int to, Buffer&& b) {
+        size_t bytes = b.size();
+        Message m;
+        if (!decode_message(b, m))
+            throw std::runtime_error("network: undecodable frame");
+        endpoints_.at(static_cast<size_t>(to))->deliver(from, std::move(m),
+                                                        bytes);
+    }
+
+    std::vector<Endpoint*> endpoints_;
+    std::deque<Frame> queue_;
+    NetStats stats_;
+};
+
+}  // namespace net
+}  // namespace pequod
+
+#endif

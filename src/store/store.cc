@@ -129,6 +129,34 @@ Entry* Store::put(const std::string& key, const std::string& value,
     return e;
 }
 
+size_t Store::erase_range(const std::string& lo, const std::string& hi) {
+    if (!hi.empty() && !(lo < hi))
+        return 0;
+    size_t removed = 0;
+    auto erase_in = [&](Tree& tree) {
+        auto it = tree.lower_bound(lo);
+        while (it != tree.end() && (hi.empty() || it->first < hi)) {
+            --stats_.entry_count;
+            stats_.key_bytes -= it->first.size();
+            stats_.value_bytes -= it->second.value().size();
+            stats_.structure_bytes -= kNodeOverhead;
+            it = tree.erase(it);
+            ++removed;
+        }
+    };
+    erase_in(tree_);
+    auto dit = tables_.upper_bound(lo);
+    if (dit != tables_.begin()) {
+        auto prev = std::prev(dit);
+        if (lo.size() >= prev->first.size()
+            && lo.compare(0, prev->first.size(), prev->first) == 0)
+            dit = prev;
+    }
+    for (; dit != tables_.end() && (hi.empty() || dit->first < hi); ++dit)
+        erase_in(dit->second.tree);
+    return removed;
+}
+
 const Entry* Store::get_ptr(const std::string& key) const {
     const Tree* tree = &tree_;
     if (enable_subtables_) {

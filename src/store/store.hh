@@ -94,6 +94,12 @@ class Store {
 
     const Entry* get_ptr(const std::string& key) const;
 
+    // Remove every entry with lo <= key < hi (empty hi == +infinity),
+    // returning how many were removed. Emptied subtables keep their
+    // directory slot: the group will likely refill, and a stable slot is
+    // what hints and the hash index rely on.
+    size_t erase_range(const std::string& lo, const std::string& hi);
+
     // Visit all entries with lo <= key < hi in key order. An empty `hi`
     // means +infinity. f(const std::string& key, const Entry&).
     template <typename F>

@@ -1,0 +1,162 @@
+// Tests for the wire layer: the varint codec at its encoding-width
+// boundaries, message framing round-trips, and the simulated network's
+// delivery modes and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.hh"
+#include "net/message.hh"
+#include "net/network.hh"
+
+namespace pequod {
+namespace {
+
+TEST(Buffer, VarintWidthBoundaries) {
+    // Seven payload bits per byte: the encoded width steps exactly at
+    // 2^7 and 2^14, and the all-ones uint64 needs the full ten bytes.
+    const struct {
+        uint64_t value;
+        size_t encoded_size;
+    } cases[] = {
+        {0, 1},         {1, 1},
+        {127, 1},       {128, 2},
+        {16383, 2},     {16384, 3},
+        {(1ull << 32) - 1, 5},
+        {1ull << 63, 10},
+        {~0ull, 10},
+    };
+    for (const auto& c : cases) {
+        net::Buffer b;
+        b.write_varint(c.value);
+        EXPECT_EQ(b.size(), c.encoded_size) << "value " << c.value;
+        EXPECT_EQ(b.read_varint(), c.value);
+        EXPECT_EQ(b.remaining(), 0u);
+    }
+    // Back-to-back mixed widths decode in order.
+    net::Buffer b;
+    const uint64_t values[] = {0, 127, 128, 16383, 16384, 300, ~0ull};
+    for (uint64_t v : values)
+        b.write_varint(v);
+    for (uint64_t v : values)
+        EXPECT_EQ(b.read_varint(), v);
+    EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(Buffer, Strings) {
+    net::Buffer b;
+    b.write_string("hello");
+    b.write_string("");
+    b.write_string("world");
+    EXPECT_EQ(b.read_string(), "hello");
+    EXPECT_EQ(b.read_string(), "");
+    EXPECT_EQ(b.read_string(), "world");
+}
+
+TEST(Message, FramingRoundTrip) {
+    net::Message put;
+    put.type = net::MsgType::kPut;
+    put.key = "p|bob|0000000001";
+    put.value = "tweet";
+    net::Message scan;
+    scan.type = net::MsgType::kScan;
+    scan.key = "t|ann|";
+    scan.value = "t|ann}";
+    net::Message sub;
+    sub.type = net::MsgType::kSubscribe;
+    sub.key = "s|ann|";
+    sub.value = "s|ann}";
+    net::Message notify;
+    notify.type = net::MsgType::kNotify;
+    notify.items = {{"p|bob|0000000001", "tweet"}, {"p|bob|0000000002", ""}};
+    net::Message reply;
+    reply.type = net::MsgType::kScanReply;
+    reply.items = {};  // empty batches frame too
+
+    // All frames share one buffer; decoding walks them back in order.
+    net::Buffer b;
+    for (const net::Message* m : {&put, &scan, &sub, &notify, &reply})
+        net::encode_message(b, *m);
+    for (const net::Message* want : {&put, &scan, &sub, &notify, &reply}) {
+        net::Message got;
+        ASSERT_TRUE(net::decode_message(b, got));
+        EXPECT_EQ(got.type, want->type);
+        EXPECT_EQ(got.key, want->key);
+        EXPECT_EQ(got.value, want->value);
+        EXPECT_EQ(got.items, want->items);
+    }
+    EXPECT_EQ(b.remaining(), 0u);
+    // A drained buffer has no further frames.
+    net::Message empty;
+    EXPECT_FALSE(net::decode_message(b, empty));
+}
+
+TEST(Message, DecodeRejectsGarbage) {
+    net::Buffer b;
+    b.write_varint(0);  // tag 0 is never sent
+    net::Message m;
+    EXPECT_FALSE(net::decode_message(b, m));
+    net::Buffer b2;
+    b2.write_varint(99);  // unknown tag
+    EXPECT_FALSE(net::decode_message(b2, m));
+    // A batch count larger than the remaining bytes cannot be honest.
+    net::Buffer b3;
+    b3.write_varint(static_cast<uint64_t>(net::MsgType::kNotify));
+    b3.write_varint(1u << 20);
+    EXPECT_FALSE(net::decode_message(b3, m));
+}
+
+struct Recorder : net::Endpoint {
+    std::vector<std::pair<int, net::Message>> received;
+    void deliver(int from, net::Message&& m, size_t) override {
+        received.emplace_back(from, std::move(m));
+    }
+};
+
+TEST(Network, SendIsSynchronousPostWaitsForDrain) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::Message m;
+    m.type = net::MsgType::kPut;
+    m.key = "k";
+    m.value = "v";
+    net.send(aid, bid, m);
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].first, aid);
+    EXPECT_EQ(b.received[0].second.key, "k");
+
+    net.post(bid, aid, m);
+    EXPECT_EQ(a.received.size(), 0u);  // queued, not delivered
+    EXPECT_TRUE(net.drain());
+    ASSERT_EQ(a.received.size(), 1u);
+    EXPECT_FALSE(net.drain());  // quiescent
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::Message m;
+    m.type = net::MsgType::kSubscribe;
+    m.key = "s|ann|";
+    m.value = "s|ann}";
+    size_t bytes = net.send(aid, bid, m);
+    // Tag byte plus two length-prefixed strings.
+    EXPECT_EQ(bytes, 1 + 1 + m.key.size() + 1 + m.value.size());
+    EXPECT_EQ(net.stats().messages, 1u);
+    EXPECT_EQ(net.stats().bytes, bytes);
+    EXPECT_EQ(net.stats().messages_by_type[static_cast<int>(
+                  net::MsgType::kSubscribe)],
+              1u);
+    net.post(aid, bid, m);
+    EXPECT_EQ(net.stats().messages, 2u);  // counted at send time
+    EXPECT_EQ(net.stats().bytes, 2 * bytes);
+}
+
+}  // namespace
+}  // namespace pequod

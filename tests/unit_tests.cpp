@@ -12,9 +12,9 @@
 #include "common/base.hh"
 #include "common/interval_map.hh"
 #include "common/rng.hh"
+#include "common/rangeset.hh"
 #include "core/server.hh"
 #include "join/join.hh"
-#include "net/buffer.hh"
 #include "store/store.hh"
 
 namespace pequod {
@@ -207,38 +207,22 @@ TEST(IntervalMap, MatchesBruteForce) {
     }
 }
 
-TEST(Buffer, VarintEdgeValues) {
-    const uint64_t values[] = {0,
-                               1,
-                               127,
-                               128,
-                               300,
-                               (1ull << 32) - 1,
-                               1ull << 63,
-                               ~0ull};
-    net::Buffer b;
-    for (uint64_t v : values)
-        b.write_varint(v);
-    for (uint64_t v : values)
-        EXPECT_EQ(b.read_varint(), v);
-    EXPECT_EQ(b.remaining(), 0u);
-
-    net::Buffer small;
-    small.write_varint(0);
-    EXPECT_EQ(small.size(), 1u);
-    net::Buffer big;
-    big.write_varint(1ull << 63);
-    EXPECT_EQ(big.size(), 10u);
-}
-
-TEST(Buffer, Strings) {
-    net::Buffer b;
-    b.write_string("hello");
-    b.write_string("");
-    b.write_string("world");
-    EXPECT_EQ(b.read_string(), "hello");
-    EXPECT_EQ(b.read_string(), "");
-    EXPECT_EQ(b.read_string(), "world");
+TEST(RangeSet, CoversAndCoalesces) {
+    RangeSet rs;
+    EXPECT_FALSE(rs.covers("a", "b"));
+    rs.add("b", "d");
+    EXPECT_TRUE(rs.covers("b", "d"));
+    EXPECT_TRUE(rs.covers("b", "c"));
+    EXPECT_FALSE(rs.covers("a", "c"));
+    EXPECT_FALSE(rs.covers("c", "e"));
+    rs.add("d", "f");  // adjacent: must coalesce
+    EXPECT_EQ(rs.size(), 1u);
+    EXPECT_TRUE(rs.covers("b", "f"));
+    rs.add("m", "");  // empty hi == +infinity
+    EXPECT_TRUE(rs.covers("zzz", ""));
+    rs.add("a", "z");  // swallows both
+    EXPECT_EQ(rs.size(), 1u);
+    EXPECT_TRUE(rs.covers("a", ""));
 }
 
 std::vector<std::string> scan_keys(Store& store, const std::string& lo,
@@ -306,6 +290,31 @@ TEST(Store, HintedPutsMatchPlainPuts) {
     hinted.put("t|other|00000001", "w", &hint);
     plain.put("t|other|00000001", "w");
     EXPECT_EQ(scan_keys(plain, "t|", "t}"), scan_keys(hinted, "t|", "t}"));
+}
+
+TEST(Store, EraseRange) {
+    Store store(true);
+    store.set_subtable_components("t|", 1);
+    for (int u = 0; u < 3; ++u)
+        for (int i = 0; i < 4; ++i)
+            store.put("t|" + pad_number(static_cast<uint64_t>(u), 4) + "|"
+                          + pad_number(static_cast<uint64_t>(i), 8),
+                      "v");
+    store.put("a|solo", "v");
+    size_t total_before = store.memory_stats().total();
+    EXPECT_EQ(store.erase_range("t|0001|", "t|0001}"), 4u);
+    EXPECT_EQ(store.size(), 9u);
+    EXPECT_EQ(store.get_ptr("t|0001|00000000"), nullptr);
+    ASSERT_NE(store.get_ptr("t|0000|00000000"), nullptr);
+    EXPECT_LT(store.memory_stats().total(), total_before);
+    // A cross-group erase touching the main tree and several subtables.
+    EXPECT_EQ(store.erase_range("", ""), 9u);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(scan_keys(store, "", ""), std::vector<std::string>{});
+    // The store stays usable after a full erase.
+    store.put("t|0000|00000000", "again");
+    EXPECT_EQ(scan_keys(store, "", ""),
+              (std::vector<std::string>{"t|0000|00000000"}));
 }
 
 TEST(Store, HintCannotMisrouteAcrossGroups) {
@@ -407,7 +416,7 @@ TEST(Server, PullJoinRecomputesEveryScan) {
     // Nothing is materialized or maintained.
     EXPECT_EQ(server.materialization_count(), 0u);
     EXPECT_EQ(server.updater_count(), 0u);
-    EXPECT_EQ(server.store().get_ptr("t|ann|0000000001|bob"), nullptr);
+    EXPECT_EQ(server.get_ptr("t|ann|0000000001|bob"), nullptr);
 }
 
 TEST(Server, SubrangeScanAfterMaterialization) {
@@ -467,19 +476,119 @@ TEST(Server, ConfigurationsAgree) {
     EXPECT_FALSE(reference.empty());
 }
 
-TEST(Server, ChainedJoinsRejected) {
+TEST(Server, ChainedJoinStaysFresh) {
+    // A join consuming another join's sink: sink emission routes through
+    // the unified write path and stabs the sink table's updaters, so the
+    // downstream join is maintained exactly like one over client puts.
+    // (The pre-refactor engine rejected this spec outright.)
     Server server;
     server.add_join(kTimelineJoin);
-    // A join reading another join's sink table would go silently stale
-    // (sink writes bypass the updater stab), so it must be rejected.
-    EXPECT_THROW(
-        server.add_join("z|<u>|<ts:10>|<p> = copy t|<u>|<ts:10>|<p>"),
-        std::runtime_error);
-    // So must a self-chain.
+    server.add_join("z|<u>|<ts:10>|<p> = copy t|<u>|<ts:10>|<p>");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    // Scanning z materializes z from t, first freshening t itself.
+    std::vector<std::string> keys;
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    EXPECT_EQ(keys, (std::vector<std::string>{"z|ann|0000000001|bob"}));
+    EXPECT_EQ(server.materialization_count(), 2u);
+    // A source put must propagate through BOTH joins eagerly: the t write
+    // is derived, and it alone must keep z fresh.
+    server.put("p|bob|0000000002", "two");
+    keys.clear();
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr& v) {
+                    keys.push_back(k + "=" + *v);
+                });
+    EXPECT_EQ(keys, (std::vector<std::string>{
+                        "z|ann|0000000001|bob=one",
+                        "z|ann|0000000002|bob=two"}));
+    // Served from the materialized ranges, not recomputed.
+    EXPECT_EQ(server.materialization_count(), 2u);
+    // New subscriptions backfill through the chain too.
+    server.put("s|ann|eve", "1");
+    server.put("p|eve|0000000003", "three");
+    EXPECT_EQ(timeline(server, "ann").size(), 3u);
+    keys.clear();
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(Server, ChainedJoinFilteredAndScannedFirst) {
+    // The chain works regardless of scan order: materialize the
+    // downstream sink before the upstream one has ever been scanned, and
+    // filter through a check source on the chained table.
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.add_join(
+        "d|<p>|<ts:10> = check f|<p> copy t|ann|<ts:10>|<p>");
+    server.put("s|ann|bob", "1");
+    server.put("s|ann|eve", "1");
+    server.put("f|bob", "1");  // only bob's posts reach d|
+    server.put("p|bob|0000000001", "b1");
+    server.put("p|eve|0000000002", "e1");
+    std::vector<std::string> keys;
+    server.scan("d|", "d}", [&](const std::string& k, const ValuePtr&) {
+        keys.push_back(k);
+    });
+    EXPECT_EQ(keys, (std::vector<std::string>{"d|bob|0000000001"}));
+    server.put("p|bob|0000000003", "b2");
+    server.put("p|eve|0000000004", "e2");
+    keys.clear();
+    server.scan("d|", "d}", [&](const std::string& k, const ValuePtr&) {
+        keys.push_back(k);
+    });
+    EXPECT_EQ(keys, (std::vector<std::string>{"d|bob|0000000001",
+                                              "d|bob|0000000003"}));
+}
+
+TEST(Server, OverlapAndCycleSpecsRejected) {
+    // Two joins may not own overlapping sink tables.
+    Server server;
+    server.add_join(kTimelineJoin);
+    EXPECT_THROW(server.add_join("t|<u>|<p> = copy s|<u>|<p>"),
+                 std::runtime_error);
+    // A self-cycle (source overlapping the join's own sink)...
     Server server2;
     EXPECT_THROW(
         server2.add_join("t|<u>|<ts:10> = copy t|x|<u>|<ts:10>"),
         std::runtime_error);
+    // ...and a two-join cycle are non-terminating: rejected.
+    Server server3;
+    server3.add_join("a|<x> = copy b|<x>");
+    EXPECT_THROW(server3.add_join("b|<x> = copy a|<x>"),
+                 std::runtime_error);
+    // A pull sink is never stored, so no join can read it.
+    Server server4;
+    server4.add_join(
+        "t|<u>|<ts:10>|<p> = pull check s|<u>|<p> copy p|<p>|<ts:10>");
+    EXPECT_THROW(
+        server4.add_join("z|<u>|<ts:10>|<p> = copy t|<u>|<ts:10>|<p>"),
+        std::runtime_error);
+}
+
+TEST(Server, PullJoinMayReadMaintainedSink) {
+    // The reverse direction is fine: a pull join recomputing from a
+    // maintained sink freshens the upstream on every recomputation.
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.add_join("z|<u>|<ts:10>|<p> = pull copy t|<u>|<ts:10>|<p>");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    size_t n = 0;
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string&, const ValuePtr&) { ++n; });
+    EXPECT_EQ(n, 1u);
+    server.put("p|bob|0000000002", "two");
+    n = 0;
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string&, const ValuePtr&) { ++n; });
+    EXPECT_EQ(n, 2u);
 }
 
 TEST(Server, ScanSpanningTwoSinkTables) {
