@@ -18,24 +18,42 @@ std::string make_key(uint64_t i) {
     return "t|" + pad_number(i % 997, 6) + "|" + pad_number(i, 10);
 }
 
+// Keys are pre-generated so the store operation is what the loop times,
+// not make_key's string concatenation. Iterations past kPutKeys wrap to
+// overwrites, which keeps the measured op meaningful at any duration.
+constexpr uint64_t kPutKeys = 1 << 20;
+
+const std::vector<std::string>& put_keys() {
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> v;
+        v.reserve(kPutKeys);
+        for (uint64_t i = 0; i < kPutKeys; ++i)
+            v.push_back(make_key(i));
+        return v;
+    }();
+    return keys;
+}
+
 void BM_StorePut(benchmark::State& state) {
+    const std::vector<std::string>& keys = put_keys();
     Store store;
     store.set_subtable_components("t|", 1);
     uint64_t i = 0;
     for (auto _ : state)
-        store.put(make_key(i++), "value");
+        store.put(keys[i++ % kPutKeys], "value");
     state.SetItemsProcessed(static_cast<int64_t>(i));
 }
 BENCHMARK(BM_StorePut);
 
 void BM_StoreGet(benchmark::State& state) {
+    const std::vector<std::string>& keys = put_keys();
     Store store;
     store.set_subtable_components("t|", 1);
     for (uint64_t i = 0; i < 100000; ++i)
-        store.put(make_key(i), "value");
+        store.put(keys[i], "value");
     uint64_t i = 0;
     for (auto _ : state)
-        benchmark::DoNotOptimize(store.get_ptr(make_key(i++ % 100000)));
+        benchmark::DoNotOptimize(store.get_ptr(keys[i++ % 100000]));
     state.SetItemsProcessed(static_cast<int64_t>(i));
 }
 BENCHMARK(BM_StoreGet);
@@ -133,6 +151,55 @@ void BM_TimelineCompute(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * posts);
 }
 BENCHMARK(BM_TimelineCompute)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ExpandKey(benchmark::State& state) {
+    // Sink key synthesis into a reused caller-owned KeyBuf — the emit
+    // path's key construction, measured alone.
+    SlotTable slots;
+    Pattern sink = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    Pattern src = Pattern::parse("p|<poster>|<time:10>", slots);
+    SlotSet ss;
+    ss.bind(slots.find("user"), "ann");
+    std::string key = "p|bob|0000000100";
+    if (!src.match(key, ss))
+        state.SkipWithError("match failed");
+    KeyBuf buf;
+    for (auto _ : state) {
+        sink.expand(ss, buf);
+        benchmark::DoNotOptimize(buf.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExpandKey);
+
+void BM_ServerWriteHinted(benchmark::State& state) {
+    // The full write->stab->apply_update chain fanning one post out to
+    // 100 warmed follower timelines, with output hints on (arg 1) or
+    // off (arg 0).
+    const int followers = 100;
+    ServerConfig cfg;
+    cfg.enable_output_hints = state.range(0) != 0;
+    Server server(cfg);
+    server.add_join(
+        "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>");
+    for (int f = 0; f < followers; ++f)
+        server.put("s|" + pad_number(f, 6) + "|star", "1");
+    server.put("p|star|" + pad_number(0, 10), "seed");
+    for (int f = 0; f < followers; ++f) {
+        std::string lo = "t|" + pad_number(f, 6) + "|";
+        server.scan(lo, prefix_successor(lo),
+                    [](const std::string&, const ValuePtr&) {});
+    }
+    std::vector<std::string> post_keys;
+    for (uint64_t i = 1; i <= 1 << 18; ++i)
+        post_keys.push_back("p|star|" + pad_number(i, 10));
+    uint64_t now = 0;
+    for (auto _ : state)
+        server.put(post_keys[now++ % post_keys.size()], "fan-out tweet");
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations())
+                            * followers);
+}
+BENCHMARK(BM_ServerWriteHinted)->Arg(1)->Arg(0);
 
 void BM_EagerUpdate(benchmark::State& state) {
     // One post fanned out to `range` follower timelines (§3.2).

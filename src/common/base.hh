@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/str.hh"
+
 namespace pequod {
 
 // Render `x` as a zero-padded decimal of at least `width` digits, the
@@ -24,30 +26,29 @@ inline std::string pad_number(uint64_t x, int width) {
 // prefix, i.e. the exclusive upper bound of the prefix's key range.
 // Returns the empty string when no such bound exists (all-0xff input);
 // callers treat an empty bound as +infinity.
-inline std::string prefix_successor(std::string prefix) {
-    while (!prefix.empty()) {
-        unsigned char c = static_cast<unsigned char>(prefix.back());
-        if (c != 0xFF) {
-            prefix.back() = static_cast<char>(c + 1);
-            return prefix;
-        }
-        prefix.pop_back();
-    }
-    return prefix;
-}
-
-// True when the key ranges addressed by two table prefixes intersect,
-// i.e. one prefix is a prefix of the other.
-inline bool prefixes_overlap(const std::string& a, const std::string& b) {
-    const std::string& shorter = a.size() < b.size() ? a : b;
-    const std::string& longer = a.size() < b.size() ? b : a;
-    return longer.compare(0, shorter.size(), shorter) == 0;
+inline std::string prefix_successor(Str prefix) {
+    size_t n = prefix.size();
+    while (n > 0 && static_cast<unsigned char>(prefix[n - 1]) == 0xFF)
+        --n;
+    std::string bound(prefix.data(), n);
+    if (!bound.empty())
+        bound.back() = static_cast<char>(
+            static_cast<unsigned char>(bound.back()) + 1);
+    return bound;
 }
 
 // The smaller of two exclusive upper bounds, where an empty bound means
 // +infinity.
 inline const std::string& min_bound(const std::string& a,
                                     const std::string& b) {
+    if (a.empty())
+        return b;
+    if (b.empty())
+        return a;
+    return a < b ? a : b;
+}
+
+inline Str min_bound(Str a, Str b) {
     if (a.empty())
         return b;
     if (b.empty())

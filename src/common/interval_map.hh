@@ -16,6 +16,8 @@
 #include <string>
 #include <utility>
 
+#include "common/str.hh"
+
 namespace pequod {
 
 template <typename T>
@@ -39,13 +41,14 @@ class IntervalMap {
         ++size_;
     }
 
-    // Visit the value of every interval with lo <= key < hi.
+    // Visit the value of every interval with lo <= key < hi. Takes a Str
+    // view, so stabbing with a key slice allocates nothing.
     template <typename F>
-    void stab(const std::string& key, F f) const {
+    void stab(Str key, F f) const {
         stab_node(root_, key, f);
     }
     template <typename F>
-    void stab(const std::string& key, F f) {
+    void stab(Str key, F f) {
         stab_node(root_, key, f);
     }
 
@@ -93,7 +96,7 @@ class IntervalMap {
         return a < b;
     }
     // True when key is below the (exclusive) bound, i.e. possibly inside.
-    static bool key_below(const std::string& key, const std::string& bound) {
+    static bool key_below(Str key, Str bound) {
         return bound.empty() || key < bound;
     }
 
@@ -139,7 +142,7 @@ class IntervalMap {
     }
 
     template <typename F>
-    static void stab_node(Node* n, const std::string& key, F& f) {
+    static void stab_node(Node* n, Str key, F& f) {
         // No interval below n can contain key once key >= subtree max hi.
         if (!n || !key_below(key, n->max_hi))
             return;

@@ -1,0 +1,112 @@
+// Size-classed node pool for the store's tree nodes (DESIGN.md §8). A
+// timeline append allocates a red-black node and frees it when the range
+// is evicted; routing those through malloc costs a lock-free fast path at
+// best and a cache-cold descent at worst. NodePool carves fixed-size
+// blocks from 64 KiB slabs with a bump pointer and recycles freed blocks
+// on per-size free lists, so steady-state maintenance inserts reuse warm
+// memory and never touch the global allocator. Blocks above kMaxBlock
+// (bulk/array allocations) pass through to operator new.
+//
+// The pool never returns memory to the OS until it is destroyed; that is
+// the right trade for store trees, whose population is the working set.
+#ifndef PEQUOD_COMMON_POOL_HH
+#define PEQUOD_COMMON_POOL_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pequod {
+
+class NodePool {
+  public:
+    static constexpr size_t kGranularity = 16;
+    static constexpr size_t kMaxBlock = 512;
+    static constexpr size_t kSlabSize = 1 << 16;
+
+    NodePool() = default;
+    NodePool(const NodePool&) = delete;
+    NodePool& operator=(const NodePool&) = delete;
+
+    void* allocate(size_t n) {
+        if (n > kMaxBlock)
+            return ::operator new(n);
+        size_t c = size_class(n);
+        if (free_[c]) {
+            void* p = free_[c];
+            free_[c] = *static_cast<void**>(p);
+            return p;
+        }
+        size_t block = c * kGranularity;
+        if (remaining_ < block) {
+            slabs_.push_back(std::make_unique<char[]>(kSlabSize));
+            cursor_ = slabs_.back().get();
+            remaining_ = kSlabSize;
+        }
+        void* p = cursor_;
+        cursor_ += block;
+        remaining_ -= block;
+        return p;
+    }
+
+    void deallocate(void* p, size_t n) {
+        if (n > kMaxBlock) {
+            ::operator delete(p);
+            return;
+        }
+        size_t c = size_class(n);
+        *static_cast<void**>(p) = free_[c];
+        free_[c] = p;
+    }
+
+    // Slab bytes held (excludes pass-through allocations).
+    size_t slab_bytes() const {
+        return slabs_.size() * kSlabSize;
+    }
+
+  private:
+    static size_t size_class(size_t n) {
+        return (n + kGranularity - 1) / kGranularity;  // >= 1 block
+    }
+
+    // operator new[] storage is 16-byte aligned and blocks are multiples
+    // of kGranularity, so every carved block keeps that alignment.
+    std::vector<std::unique_ptr<char[]>> slabs_;
+    void* free_[kMaxBlock / kGranularity + 1] = {};
+    char* cursor_ = nullptr;
+    size_t remaining_ = 0;
+};
+
+// Minimal allocator over a NodePool, for node-based containers. The pool
+// must outlive every container using it; Store owns one for its trees.
+template <typename T>
+struct PoolAllocator {
+    using value_type = T;
+
+    NodePool* pool;
+
+    explicit PoolAllocator(NodePool* p) : pool(p) {}
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U>& other) : pool(other.pool) {}
+
+    T* allocate(size_t n) {
+        return static_cast<T*>(pool->allocate(n * sizeof(T)));
+    }
+    void deallocate(T* p, size_t n) {
+        pool->deallocate(p, n * sizeof(T));
+    }
+
+    template <typename U>
+    bool operator==(const PoolAllocator<U>& other) const {
+        return pool == other.pool;
+    }
+    template <typename U>
+    bool operator!=(const PoolAllocator<U>& other) const {
+        return pool != other.pool;
+    }
+};
+
+}  // namespace pequod
+
+#endif

@@ -10,20 +10,23 @@
 #include <string>
 #include <utility>
 
+#include "common/str.hh"
+
 namespace pequod {
 
 class RangeSet {
   public:
     // True when [lo, hi) lies inside a single stored range. Stored ranges
-    // are coalesced, so covered-by-several implies covered-by-one.
-    bool covers(const std::string& lo, const std::string& hi) const {
+    // are coalesced, so covered-by-several implies covered-by-one. Takes
+    // Str views so the hot covered-already check allocates nothing.
+    bool covers(Str lo, Str hi) const {
         auto it = ranges_.upper_bound(lo);
         if (it == ranges_.begin())
             return false;
         --it;  // it->first <= lo
         if (it->second.empty())
             return true;
-        return !hi.empty() && hi <= it->second;
+        return !hi.empty() && hi <= Str(it->second);
     }
 
     // Add [lo, hi), coalescing with every overlapping or adjacent range.
@@ -52,12 +55,13 @@ class RangeSet {
     size_t size() const {
         return ranges_.size();
     }
-    const std::map<std::string, std::string>& ranges() const {
+    const std::map<std::string, std::string, std::less<>>& ranges() const {
         return ranges_;
     }
 
   private:
-    std::map<std::string, std::string> ranges_;  // lo -> hi, coalesced
+    // lo -> hi, coalesced; transparent so covers() can probe with a Str.
+    std::map<std::string, std::string, std::less<>> ranges_;
 };
 
 }  // namespace pequod

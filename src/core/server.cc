@@ -6,30 +6,21 @@
 
 namespace pequod {
 
-namespace {
-
-bool starts_with(const std::string& s, const std::string& prefix) {
-    return s.size() >= prefix.size()
-        && s.compare(0, prefix.size(), prefix) == 0;
-}
-
-}  // namespace
-
-Table& Server::table_for(const std::string& key) {
+Table& Server::table_for(Str key) {
     auto it = tables_.upper_bound(key);
     if (it != tables_.begin()) {
         --it;
-        if (starts_with(key, it->first))
+        if (key.starts_with(it->first))
             return it->second;
     }
     return root_;
 }
 
-const Table& Server::table_for(const std::string& key) const {
+const Table& Server::table_for(Str key) const {
     auto it = tables_.upper_bound(key);
     if (it != tables_.begin()) {
         --it;
-        if (starts_with(key, it->first))
+        if (key.starts_with(it->first))
             return it->second;
     }
     return root_;
@@ -38,11 +29,11 @@ const Table& Server::table_for(const std::string& key) const {
 // First directory entry whose block [prefix, prefix_successor(prefix))
 // can intersect a range starting at `lo`: the block containing lo, else
 // the first block at or after it.
-Server::TableMap::iterator Server::first_overlapping(const std::string& lo) {
+Server::TableMap::iterator Server::first_overlapping(Str lo) {
     auto it = tables_.upper_bound(lo);
     if (it != tables_.begin()) {
         auto prev = std::prev(it);
-        if (starts_with(lo, prev->first))
+        if (lo.starts_with(prev->first))
             it = prev;
     }
     return it;
@@ -69,7 +60,7 @@ Table& Server::make_table(const std::string& prefix) {
                    .first->second;
     // Adopt keys put before this prefix was routed, so the table's store
     // is the single home of its range from here on.
-    std::string hi = prefix_successor(prefix);
+    const std::string& hi = t.prefix_upper();
     std::vector<std::pair<std::string, std::string>> moved;
     root_.store().scan(prefix, hi,
                        [&moved](const std::string& k, const Entry& e) {
@@ -198,21 +189,29 @@ void Server::add_join(const std::string& spec) {
         if (&table_for(src) == &root_)
             make_table(src);
     Table& sink_table = make_table(sink);
+    // §4.1: group the sink store by the sink pattern's leading slot (one
+    // subtable per user timeline, say) so maintenance appends land in a
+    // small per-group tree instead of one ever-growing table tree. Only
+    // when the pattern actually has a component structure to group by,
+    // and without overriding an explicit configuration.
+    if (js->sink().text().find('|', sink.size()) != std::string::npos
+        && sink_table.store().size() == 0
+        && !sink_table.store().has_subtable_spec(sink))
+        sink_table.store().set_subtable_components(sink, 1);
     sink_table.attach_sink(std::move(*js));
 }
 
-void Server::put(const std::string& key, const std::string& value) {
+void Server::put(Str key, Str value) {
     write(key, value, nullptr);
 }
 
-Entry* Server::write(const std::string& key, const std::string& value,
-                     WriteHint* hint) {
+Entry* Server::write(Str key, Str value, WriteHint* hint) {
     Table* t = nullptr;
     // Hint fast path: reuse the previous write's table when the key
     // provably belongs there (prefixes never nest, so a prefix match is
     // ownership), skipping the directory lookup.
     if (hint && hint->table && hint->table != &root_
-        && starts_with(key, hint->table->prefix()))
+        && key.starts_with(hint->table->prefix()))
         t = hint->table;
     if (!t) {
         t = &table_for(key);
@@ -242,20 +241,19 @@ Entry* Server::write(const std::string& key, const std::string& value,
     return e;
 }
 
-void Server::scan_impl(const std::string& lo, const std::string& hi,
-                       const ScanRef& f) {
+void Server::scan_impl(Str lo, Str hi, const ScanRef& f) {
     // Freshen every maintained sink the range overlaps; a scan may span
     // several tables (or tables plus unrouted keys).
     for (auto it = first_overlapping(lo);
-         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+         it != tables_.end() && (hi.empty() || Str(it->first) < hi); ++it) {
         Table& t = it->second;
         if (!t.is_sink())
             continue;
-        std::string table_hi = prefix_successor(t.prefix());
+        Str table_hi = t.prefix_upper();
         if (!t.sink().join.maintained()) {
             // Pull joins store nothing, so their results cannot be merged
             // into the store scan below; support only confined scans.
-            bool confined = lo >= t.prefix()
+            bool confined = lo >= Str(t.prefix())
                 && (table_hi.empty() || (!hi.empty() && hi <= table_hi));
             if (!confined)
                 throw std::logic_error(
@@ -264,8 +262,8 @@ void Server::scan_impl(const std::string& lo, const std::string& hi,
             pull_scan(t, lo, hi, f);
             return;
         }
-        const std::string& mlo = lo < t.prefix() ? t.prefix() : lo;
-        const std::string& mhi = min_bound(table_hi, hi);
+        Str mlo = lo < Str(t.prefix()) ? Str(t.prefix()) : lo;
+        Str mhi = min_bound(table_hi, hi);
         freshen_table(t, mlo, mhi);
     }
     raw_scan(lo, hi, [&f](const std::string& key, const Entry& e) {
@@ -278,17 +276,16 @@ void Server::scan_impl(const std::string& lo, const std::string& hi,
 // into one ordered stream. Routed keys always carry their table's
 // prefix, so emitting whole blocks between root runs keeps global key
 // order.
-void Server::raw_scan(const std::string& lo, const std::string& hi,
-                      const RawRef& f) {
-    std::string cursor = lo;
+void Server::raw_scan(Str lo, Str hi, const RawRef& f) {
+    Str cursor = lo;
     for (auto it = first_overlapping(lo);
-         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+         it != tables_.end() && (hi.empty() || Str(it->first) < hi); ++it) {
         root_.store().scan(cursor, it->first, f);
-        std::string table_hi = prefix_successor(it->first);
+        Str table_hi = it->second.prefix_upper();
         it->second.store().scan(lo, min_bound(table_hi, hi), f);
         if (table_hi.empty())
             return;  // the block extends to +infinity
-        cursor = std::move(table_hi);
+        cursor = table_hi;
     }
     root_.store().scan(cursor, hi, f);
 }
@@ -297,21 +294,20 @@ void Server::raw_scan(const std::string& lo, const std::string& hi,
 // join execution is about to consult, which may themselves be another
 // join's output. Pull sinks cannot appear here: reads of them are
 // rejected at add_join.
-void Server::freshen(const std::string& lo, const std::string& hi) {
+void Server::freshen(Str lo, Str hi) {
     for (auto it = first_overlapping(lo);
-         it != tables_.end() && (hi.empty() || it->first < hi); ++it) {
+         it != tables_.end() && (hi.empty() || Str(it->first) < hi); ++it) {
         Table& t = it->second;
         if (!t.is_sink() || !t.sink().join.maintained())
             continue;
-        std::string table_hi = prefix_successor(t.prefix());
-        const std::string& mlo = lo < t.prefix() ? t.prefix() : lo;
-        const std::string& mhi = min_bound(table_hi, hi);
+        Str table_hi = t.prefix_upper();
+        Str mlo = lo < Str(t.prefix()) ? Str(t.prefix()) : lo;
+        Str mhi = min_bound(table_hi, hi);
         freshen_table(t, mlo, mhi);
     }
 }
 
-void Server::freshen_table(Table& sink_table, const std::string& lo,
-                           const std::string& hi) {
+void Server::freshen_table(Table& sink_table, Str lo, Str hi) {
     Table::Sink& sk = sink_table.sink();
     if (sk.valid.covers(lo, hi))
         return;
@@ -321,7 +317,7 @@ void Server::freshen_table(Table& sink_table, const std::string& lo,
     // eager updates keep the entire range fresh.
     SlotSet ss = sk.join.sink().derive_slot_set(lo, hi);
     KeyRange out = sk.join.sink().containing_range(ss);
-    auto emit = [this](const std::string& key, const std::string& value) {
+    auto emit = [this](Str key, Str value) {
         write(key, value, nullptr);
     };
     EmitRef emit_ref(emit);
@@ -349,13 +345,17 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
         for (int slot = 0; slot < kMaxSlots; ++slot) {
             if (ss.has(slot)) {
                 dedup += '\1';
-                dedup += ss[slot];
+                Str v = ss[slot];
+                dedup.append(v.data(), v.size());
             }
             dedup += '\0';
         }
         if (sink_table.sink().registered.insert(std::move(dedup)).second) {
-            updaters_.push_back(std::make_unique<Updater>(
-                Updater{&sink_table, source_index, ss, WriteHint()}));
+            auto u = std::make_unique<Updater>(
+                Updater{&sink_table, source_index, OwnedSlots(ss),
+                        SlotSet(), WriteHint()});
+            u->bound_view = u->bound.view();
+            updaters_.push_back(std::move(u));
             table_for(range.lo).updaters().insert(
                 range.lo, range.hi,
                 static_cast<uint32_t>(updaters_.size() - 1));
@@ -370,22 +370,28 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
                   SlotSet bound = ss;
                   if (!pat.match(key, bound))
                       return;
-                  if (last)
-                      emit(join.sink().expand(bound), e.value());
-                  else
+                  if (last) {
+                      KeyBuf sink_key;
+                      join.sink().expand(bound, sink_key);
+                      emit(sink_key.str(), e.value());
+                  } else {
                       execute(sink_table, source_index + 1, bound,
                               install_updaters, emit);
+                  }
               });
 }
 
-void Server::apply_update(Updater& u, const std::string& key,
-                          const std::string& value, bool inserted) {
+void Server::apply_update(Updater& u, Str key, Str value, bool inserted) {
     Table::Sink& sk = u.sink_table->sink();
-    SlotSet bound = u.bound;
+    // Copy the pre-sliced bindings and extend them from the written key:
+    // nothing here allocates until a genuinely new entry is stored.
+    SlotSet bound = u.bound_view;
     if (!sk.join.source(u.source_index).match(key, bound))
         return;
     if (u.source_index + 1 == sk.join.nsource()) {
-        write(sk.join.sink().expand(bound), value,
+        KeyBuf sink_key;
+        sk.join.sink().expand(bound, sink_key);
+        write(sink_key.str(), value,
               config_.enable_output_hints ? &u.out : nullptr);
         ++stat_eager_updates_;
     } else if (!inserted) {
@@ -397,8 +403,7 @@ void Server::apply_update(Updater& u, const std::string& key,
         // A non-final source changed (e.g. a new subscription): run the
         // rest of the join under the extended bindings, copying existing
         // source entries and installing updaters for the new ranges.
-        auto emit = [this](const std::string& out_key,
-                           const std::string& out_value) {
+        auto emit = [this](Str out_key, Str out_value) {
             write(out_key, out_value, nullptr);
         };
         EmitRef emit_ref(emit);
@@ -406,17 +411,16 @@ void Server::apply_update(Updater& u, const std::string& key,
     }
 }
 
-void Server::pull_scan(Table& sink_table, const std::string& lo,
-                       const std::string& hi, const ScanRef& f) {
-    std::map<std::string, std::string> results;
+void Server::pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f) {
+    std::map<std::string, std::string, std::less<>> results;
     SlotSet ss = sink_table.sink().join.sink().derive_slot_set(lo, hi);
-    auto emit = [&results](const std::string& key, const std::string& value) {
-        results[key] = value;
+    auto emit = [&results](Str key, Str value) {
+        results.insert_or_assign(key.str(), value.str());
     };
     EmitRef emit_ref(emit);
     execute(sink_table, 0, ss, false, emit_ref);
     for (auto it = results.lower_bound(lo); it != results.end(); ++it) {
-        if (!hi.empty() && !(it->first < hi))
+        if (!hi.empty() && !(Str(it->first) < hi))
             break;
         ValuePtr v = &it->second;
         f(it->first, v);

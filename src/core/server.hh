@@ -13,6 +13,12 @@
 // joins); only cyclic specs and reads of a `pull` join's sink are
 // rejected. `pull` joins skip materialization and recompute on every
 // scan.
+//
+// The write path runs on Str views end to end (§8): routing probes the
+// table directory with the key slice, pattern matching binds slots as
+// slices of the written key, and sink keys are synthesized into stack
+// KeyBufs — so an eager update allocates only when it genuinely creates
+// a new stored entry.
 #ifndef PEQUOD_CORE_SERVER_HH
 #define PEQUOD_CORE_SERVER_HH
 
@@ -25,6 +31,7 @@
 
 #include "common/base.hh"
 #include "common/fnref.hh"
+#include "common/str.hh"
 #include "core/table.hh"
 #include "join/join.hh"
 #include "store/store.hh"
@@ -60,17 +67,17 @@ class Server {
     // already-owned sink table, a join cycle, or a read of a pull sink.
     void add_join(const std::string& spec);
 
-    void put(const std::string& key, const std::string& value);
+    void put(Str key, Str value);
 
     // Visit entries in [lo, hi) in key order, materializing join output
     // first when needed. f(const std::string& key, const ValuePtr&).
     template <typename F>
-    void scan(const std::string& lo, const std::string& hi, F&& f) {
+    void scan(Str lo, Str hi, F&& f) {
         FnRef<void(const std::string&, const ValuePtr&)> ref(f);
         scan_impl(lo, hi, ref);
     }
 
-    const Entry* get_ptr(const std::string& key) const {
+    const Entry* get_ptr(Str key) const {
         return table_for(key).store().get_ptr(key);
     }
 
@@ -96,10 +103,10 @@ class Server {
     }
 
   private:
-    using TableMap = std::map<std::string, Table>;
+    using TableMap = std::map<std::string, Table, std::less<>>;
     using ScanRef = FnRef<void(const std::string&, const ValuePtr&)>;
     using RawRef = FnRef<void(const std::string&, const Entry&)>;
-    using EmitRef = FnRef<void(const std::string&, const std::string&)>;
+    using EmitRef = FnRef<void(Str, Str)>;
 
     // Write-path hint: the owning table from the previous write plus the
     // in-table position hint, letting an eager append skip both the
@@ -111,12 +118,17 @@ class Server {
 
     // One registered maintenance obligation: "source `source_index` of
     // the join materializing into `sink_table`, with these slots already
-    // bound, feeds materialized output". Stored behind unique_ptr so the
-    // output hint survives vector growth.
+    // bound, feeds materialized output". The bindings are owned by
+    // `bound`; `bound_view` is the pre-sliced SlotSet over that storage,
+    // built once the Updater has its final heap address (OwnedSlots SSO
+    // bytes move with the object) and copied trivially per stab. Stored
+    // behind unique_ptr so the view and the output hint survive vector
+    // growth.
     struct Updater {
         Table* sink_table;
         int source_index;
-        SlotSet bound;
+        OwnedSlots bound;
+        SlotSet bound_view;
         WriteHint out;
     };
 
@@ -124,25 +136,19 @@ class Server {
     // the directory node plus the Table object itself.
     static constexpr size_t kTableDirOverhead = 48 + sizeof(Table);
 
-    Table& table_for(const std::string& key);
-    const Table& table_for(const std::string& key) const;
-    TableMap::iterator first_overlapping(const std::string& lo);
+    Table& table_for(Str key);
+    const Table& table_for(Str key) const;
+    TableMap::iterator first_overlapping(Str lo);
     Table& make_table(const std::string& prefix);
-    Entry* write(const std::string& key, const std::string& value,
-                 WriteHint* hint);
-    void scan_impl(const std::string& lo, const std::string& hi,
-                   const ScanRef& f);
-    void raw_scan(const std::string& lo, const std::string& hi,
-                  const RawRef& f);
-    void freshen(const std::string& lo, const std::string& hi);
-    void freshen_table(Table& sink_table, const std::string& lo,
-                       const std::string& hi);
+    Entry* write(Str key, Str value, WriteHint* hint);
+    void scan_impl(Str lo, Str hi, const ScanRef& f);
+    void raw_scan(Str lo, Str hi, const RawRef& f);
+    void freshen(Str lo, Str hi);
+    void freshen_table(Table& sink_table, Str lo, Str hi);
     void execute(Table& sink_table, int source_index, const SlotSet& ss,
                  bool install_updaters, const EmitRef& emit);
-    void apply_update(Updater& u, const std::string& key,
-                      const std::string& value, bool inserted);
-    void pull_scan(Table& sink_table, const std::string& lo,
-                   const std::string& hi, const ScanRef& f);
+    void apply_update(Updater& u, Str key, Str value, bool inserted);
+    void pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f);
 
     ServerConfig config_;
     Table root_;       // keys under no routed prefix

@@ -40,12 +40,20 @@ class Table {
     };
 
     Table(std::string prefix, bool enable_subtables)
-        : prefix_(std::move(prefix)), store_(enable_subtables) {}
+        : prefix_(std::move(prefix)),
+          prefix_hi_(prefix_successor(prefix_)),
+          store_(enable_subtables) {}
     Table(const Table&) = delete;
     Table& operator=(const Table&) = delete;
 
     const std::string& prefix() const {
         return prefix_;
+    }
+    // Cached prefix_successor(prefix()): the exclusive upper bound of this
+    // table's key block ("" == +infinity), computed once instead of per
+    // scan/freshen.
+    const std::string& prefix_upper() const {
+        return prefix_hi_;
     }
     Store& store() {
         return store_;
@@ -90,6 +98,7 @@ class Table {
 
   private:
     std::string prefix_;  // "" for the root (unrouted-key) table
+    std::string prefix_hi_;
     Store store_;
     std::unique_ptr<Sink> sink_;
     IntervalMap<uint32_t> updaters_;

@@ -11,28 +11,14 @@ namespace distrib {
 
 namespace {
 
-bool starts_with(const std::string& s, const std::string& prefix) {
-    return s.size() >= prefix.size()
-        && s.compare(0, prefix.size(), prefix) == 0;
-}
-
-uint64_t fnv1a(const std::string& s) {
-    uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
-}
-
 // The '|'-terminated table group of `key` under `prefix` — the sharding
 // unit, chosen so a group's range subscription and its later puts agree
-// on a home server.
-std::string table_group(const std::string& key, const std::string& prefix) {
+// on a home server. A non-owning slice of `key`.
+Str table_group(Str key, Str prefix) {
     size_t bar = key.find('|', prefix.size());
-    if (bar == std::string::npos)
+    if (bar == Str::npos)
         return key;
-    return key.substr(0, bar + 1);
+    return key.prefix(bar + 1);
 }
 
 }  // namespace
@@ -289,7 +275,8 @@ void Cluster::settle() {
 
 ComputeServer& Cluster::compute_for(const std::string& affinity) {
     size_t i = static_cast<size_t>(
-        fnv1a(affinity) % static_cast<uint64_t>(config_.compute_servers));
+        Str(affinity).hash()
+        % static_cast<uint64_t>(config_.compute_servers));
     return *computes_[i];
 }
 
@@ -297,7 +284,7 @@ int Cluster::home_base(const std::string& key) const {
     for (const std::string& prefix : config_.base_tables)
         if (starts_with(key, prefix))
             return static_cast<int>(
-                fnv1a(table_group(key, prefix))
+                table_group(key, prefix).hash()
                 % static_cast<uint64_t>(config_.base_servers));
     throw std::invalid_argument("no base table owns key '" + key + "'");
 }
@@ -307,13 +294,14 @@ int Cluster::home_base_for_range(const std::string& lo,
     for (const std::string& prefix : config_.base_tables) {
         if (!starts_with(lo, prefix))
             continue;
-        std::string group = table_group(lo, prefix);
+        Str group = table_group(lo, prefix);
         // One home server only when [lo, hi) stays inside lo's group —
         // and lo actually names a group beyond the bare table prefix.
         if (group.size() > prefix.size() && !hi.empty()
-            && hi <= prefix_successor(group))
+            && Str(hi) <= Str(prefix_successor(group)))
             return static_cast<int>(
-                fnv1a(group) % static_cast<uint64_t>(config_.base_servers));
+                group.hash()
+                % static_cast<uint64_t>(config_.base_servers));
         return -1;
     }
     throw std::invalid_argument("no base table owns range from '" + lo

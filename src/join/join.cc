@@ -73,13 +73,12 @@ Pattern Pattern::parse(const std::string& text, SlotTable& slots) {
     return p;
 }
 
-bool Pattern::match(const std::string& key, SlotSet& ss) const {
+bool Pattern::match(Str key, SlotSet& ss) const {
     size_t pos = 0;
     for (size_t e = 0; e < elements_.size(); ++e) {
         const Element& el = elements_[e];
         if (el.slot < 0) {
-            if (pos + el.literal.size() > key.size()
-                || key.compare(pos, el.literal.size(), el.literal) != 0)
+            if (!key.substr(pos).starts_with(el.literal))
                 return false;
             pos += el.literal.size();
         } else {
@@ -92,7 +91,7 @@ bool Pattern::match(const std::string& key, SlotSet& ss) const {
                        && elements_[e + 1].slot < 0) {
                 // Unbounded slot runs to the next literal's first byte.
                 size_t end = key.find(elements_[e + 1].literal[0], pos);
-                if (end == std::string::npos)
+                if (end == Str::npos)
                     return false;
                 len = end - pos;
             } else {
@@ -101,7 +100,7 @@ bool Pattern::match(const std::string& key, SlotSet& ss) const {
             if (len == 0 || pos + len > key.size())
                 return false;
             if (ss.has(el.slot)) {
-                if (key.compare(pos, len, ss[el.slot]) != 0)
+                if (key.substr(pos, len) != ss[el.slot])
                     return false;
             } else {
                 ss.bind(el.slot, key.substr(pos, len));
@@ -112,23 +111,22 @@ bool Pattern::match(const std::string& key, SlotSet& ss) const {
     return pos == key.size();
 }
 
-SlotSet Pattern::derive_slot_set(const std::string& lo,
-                                 const std::string& hi) const {
+SlotSet Pattern::derive_slot_set(Str lo, Str hi) const {
     // Largest L such that every key in [lo, hi) shares lo's first L
     // bytes: the prefix P = lo[0..L) is constant over the range iff
     // hi <= prefix_successor(P).
-    auto constant = [&lo, &hi](size_t n) {
-        std::string bound = prefix_successor(lo.substr(0, n));
+    auto constant = [lo, hi](size_t n) {
+        std::string bound = prefix_successor(lo.prefix(n));
         // An empty hi means +infinity, where only an infinite bound (all
         // 0xff prefix) keeps the prefix constant.
-        return bound.empty() || (!hi.empty() && hi <= bound);
+        return bound.empty() || (!hi.empty() && hi <= Str(bound));
     };
     size_t limit = lo.size();
     while (limit > 0 && !constant(limit))
         --limit;
 
     // Bind every slot whose span falls entirely inside the constant
-    // prefix, walking the pattern along lo.
+    // prefix, walking the pattern along lo. The bindings slice `lo`.
     SlotSet ss;
     size_t pos = 0;
     for (size_t e = 0; e < elements_.size(); ++e) {
@@ -136,8 +134,7 @@ SlotSet Pattern::derive_slot_set(const std::string& lo,
         size_t end;
         if (el.slot < 0) {
             end = pos + el.literal.size();
-            if (end > limit
-                || lo.compare(pos, el.literal.size(), el.literal) != 0)
+            if (end > limit || !lo.substr(pos).starts_with(el.literal))
                 break;
         } else {
             if (el.width > 0) {
@@ -145,7 +142,7 @@ SlotSet Pattern::derive_slot_set(const std::string& lo,
             } else if (e + 1 < elements_.size()
                        && elements_[e + 1].slot < 0) {
                 end = lo.find(elements_[e + 1].literal[0], pos);
-                if (end == std::string::npos)
+                if (end == Str::npos)
                     break;
             } else {
                 end = lo.size();
@@ -162,12 +159,14 @@ SlotSet Pattern::derive_slot_set(const std::string& lo,
 KeyRange Pattern::containing_range(const SlotSet& ss) const {
     std::string prefix;
     for (const Element& el : elements_) {
-        if (el.slot < 0)
+        if (el.slot < 0) {
             prefix += el.literal;
-        else if (ss.has(el.slot))
-            prefix += ss[el.slot];
-        else
+        } else if (ss.has(el.slot)) {
+            Str v = ss[el.slot];
+            prefix.append(v.data(), v.size());
+        } else {
             return {prefix, prefix_successor(prefix)};
+        }
     }
     // Fully bound: the range holding exactly this one key.
     KeyRange r;
@@ -177,19 +176,18 @@ KeyRange Pattern::containing_range(const SlotSet& ss) const {
     return r;
 }
 
-std::string Pattern::expand(const SlotSet& ss) const {
-    std::string key;
+void Pattern::expand(const SlotSet& ss, KeyBuf& out) const {
+    out.clear();
     for (const Element& el : elements_) {
         if (el.slot < 0) {
-            key += el.literal;
+            out.append(el.literal);
         } else {
             if (!ss.has(el.slot))
                 throw std::runtime_error("expand with unbound slot in "
                                          + text_);
-            key += ss[el.slot];
+            out.append(ss[el.slot]);
         }
     }
-    return key;
 }
 
 void Join::parse(const std::string& spec) {

@@ -15,12 +15,14 @@
 #define PEQUOD_JOIN_JOIN_HH
 
 #include <array>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/base.hh"
+#include "common/str.hh"
 
 namespace pequod {
 
@@ -43,18 +45,22 @@ class SlotTable {
 };
 
 // A partial assignment of slot values accumulated while matching keys.
+// Values are non-owning Str slices — into the matched key during a scan
+// callback, into an OwnedSlots' storage when replayed by an updater — so
+// binding and copying a SlotSet never allocates. A SlotSet must not
+// outlive the bytes its slices view (DESIGN.md §8).
 class SlotSet {
   public:
-    void bind(int slot, std::string value) {
+    void bind(int slot, Str value) {
         if (slot < 0 || slot >= kMaxSlots)
             throw std::out_of_range("SlotSet::bind: bad slot index");
-        values_[static_cast<size_t>(slot)] = std::move(value);
+        values_[static_cast<size_t>(slot)] = value;
         mask_ |= 1u << slot;
     }
     bool has(int slot) const {
         return slot >= 0 && slot < kMaxSlots && (mask_ >> slot) & 1;
     }
-    const std::string& operator[](int slot) const {
+    Str operator[](int slot) const {
         return values_[static_cast<size_t>(slot)];
     }
     unsigned mask() const {
@@ -62,7 +68,55 @@ class SlotSet {
     }
 
   private:
-    std::array<std::string, kMaxSlots> values_;
+    std::array<Str, kMaxSlots> values_;
+    unsigned mask_ = 0;
+};
+
+// Owned backing bytes for slot bindings that must outlive the key they
+// were matched from — an installed updater keeps its bound slots here.
+// view() re-slices the owned storage into a SlotSet without allocating.
+class OwnedSlots {
+  public:
+    OwnedSlots() = default;
+    explicit OwnedSlots(const SlotSet& ss) {
+        assign(ss);
+    }
+
+    void assign(const SlotSet& ss) {
+        storage_.clear();
+        mask_ = ss.mask();
+        for (int slot = 0; slot < kMaxSlots; ++slot) {
+            if (!ss.has(slot))
+                continue;
+            Str v = ss[slot];
+            spans_[static_cast<size_t>(slot)] = {
+                static_cast<uint32_t>(storage_.size()),
+                static_cast<uint32_t>(v.size())};
+            storage_.append(v.data(), v.size());
+        }
+    }
+
+    SlotSet view() const {
+        SlotSet out;
+        for (int slot = 0; slot < kMaxSlots; ++slot)
+            if ((mask_ >> slot) & 1) {
+                const Span& sp = spans_[static_cast<size_t>(slot)];
+                out.bind(slot, Str(storage_.data() + sp.off, sp.len));
+            }
+        return out;
+    }
+
+    unsigned mask() const {
+        return mask_;
+    }
+
+  private:
+    struct Span {
+        uint32_t off = 0;
+        uint32_t len = 0;
+    };
+    std::string storage_;
+    std::array<Span, kMaxSlots> spans_;
     unsigned mask_ = 0;
 };
 
@@ -77,23 +131,31 @@ class Pattern {
     // width, more than kMaxSlots distinct names).
     static Pattern parse(const std::string& text, SlotTable& slots);
 
-    // Match `key`, binding unbound slots into `ss`. Slots already bound
-    // in `ss` must match the key byte-for-byte. False on any mismatch,
-    // including a width mismatch or trailing key bytes.
-    bool match(const std::string& key, SlotSet& ss) const;
+    // Match `key`, binding unbound slots into `ss` as slices of `key`
+    // (zero allocation; the bindings share `key`'s lifetime). Slots
+    // already bound in `ss` must match the key byte-for-byte. False on
+    // any mismatch, including a width mismatch or trailing key bytes.
+    bool match(Str key, SlotSet& ss) const;
 
     // The slots that every key in [lo, hi) provably agrees on, taken from
-    // the longest prefix of `lo` that is constant across the range.
-    SlotSet derive_slot_set(const std::string& lo,
-                            const std::string& hi) const;
+    // the longest prefix of `lo` that is constant across the range. The
+    // bindings slice `lo`.
+    SlotSet derive_slot_set(Str lo, Str hi) const;
 
     // The smallest key range containing every key this pattern can
     // produce under the bindings in `ss`.
     KeyRange containing_range(const SlotSet& ss) const;
 
-    // Build the key for a fully bound slot set; throws if a slot this
-    // pattern uses is unbound.
-    std::string expand(const SlotSet& ss) const;
+    // Append the key for a fully bound slot set to `out` (cleared first);
+    // throws if a slot this pattern uses is unbound. Allocation-free
+    // while the key fits the KeyBuf's capacity.
+    void expand(const SlotSet& ss, KeyBuf& out) const;
+    // Convenience for cold paths and tests.
+    std::string expand(const SlotSet& ss) const {
+        KeyBuf buf;
+        expand(ss, buf);
+        return buf.str().str();
+    }
 
     bool has_slot(int slot) const {
         return (slot_mask_ >> slot) & 1;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/str.hh"
+
 namespace pequod {
 namespace net {
 
@@ -38,7 +40,8 @@ class Buffer {
         return v;
     }
 
-    void write_string(const std::string& s) {
+    // Takes a Str so encoding a key slice never constructs a temporary.
+    void write_string(Str s) {
         write_varint(s.size());
         data_.insert(data_.end(), s.begin(), s.end());
     }

@@ -23,16 +23,14 @@ void Store::set_subtable_components(const std::string& prefix,
     specs_.emplace_back(prefix, components);
 }
 
-size_t Store::group_length(const std::string& key) const {
+size_t Store::group_length(Str key) const {
     for (const auto& spec : specs_) {
-        const std::string& prefix = spec.first;
-        if (key.size() < prefix.size()
-            || key.compare(0, prefix.size(), prefix) != 0)
+        if (!key.starts_with(spec.first))
             continue;
-        size_t pos = prefix.size();
+        size_t pos = spec.first.size();
         for (int c = 0; c < spec.second; ++c) {
             size_t bar = key.find('|', pos);
-            if (bar == std::string::npos)
+            if (bar == Str::npos)
                 return key.size();  // short key: the whole key is its group
             pos = bar + 1;
         }
@@ -41,32 +39,52 @@ size_t Store::group_length(const std::string& key) const {
     return 0;
 }
 
-Store::Subtable* Store::find_or_make_subtable(const std::string& group) {
+Store::Subtable* Store::find_or_make_subtable(Str group) {
     auto hit = table_index_.find(group);
     if (hit != table_index_.end())
         return hit->second;
-    auto ins = tables_.emplace(group, Subtable());
+    auto ins = tables_.emplace(group.str(), Subtable(pool_.get()));
     Subtable* sub = &ins.first->second;
     if (ins.second) {
-        sub->prefix = group;
+        sub->prefix = group.str();
         ++stats_.subtable_count;
         stats_.structure_bytes += kSubtableOverhead + 2 * group.size();
     }
-    table_index_.emplace(group, sub);
+    table_index_.emplace(group.str(), sub);
     return sub;
 }
 
-const Store::Subtable* Store::find_subtable(const std::string& group) const {
+const Store::Subtable* Store::find_subtable(Str group) const {
     auto hit = table_index_.find(group);
     return hit != table_index_.end() ? hit->second : nullptr;
 }
 
+Entry* Store::overwrite(Tree::iterator it, Str value) {
+    stats_.value_bytes -= it->second.value().size();
+    it->second.set_value(value);
+    stats_.value_bytes += value.size();
+    return &it->second;
+}
+
 Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
-                          const std::string& key, const std::string& value,
-                          Tree::iterator* out_pos, bool* inserted) {
+                          Str key, Str value, Tree::iterator* out_pos,
+                          bool* inserted) {
     size_t before = tree.size();
-    Tree::iterator it = use_hint ? tree.emplace_hint(hint_pos, key, Entry())
-                                 : tree.emplace(key, Entry()).first;
+    Tree::iterator it;
+    if (use_hint) {
+        it = tree.emplace_hint(
+            hint_pos, std::piecewise_construct,
+            std::forward_as_tuple(key.data(), key.size()),
+            std::forward_as_tuple());
+    } else {
+        // Probe with the Str first: an overwrite then constructs nothing.
+        it = tree.lower_bound(key);
+        if (it == tree.end() || Str(it->first) != key)
+            it = tree.emplace_hint(
+                it, std::piecewise_construct,
+                std::forward_as_tuple(key.data(), key.size()),
+                std::forward_as_tuple());
+    }
     if (inserted)
         *inserted = tree.size() != before;
     if (tree.size() != before) {
@@ -82,28 +100,35 @@ Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
     return &it->second;
 }
 
-Entry* Store::put(const std::string& key, const std::string& value,
-                  Hint* hint, bool* inserted) {
+Entry* Store::put(Str key, Str value, Hint* hint, bool* inserted) {
     Tree::iterator pos;
     // Hint fast path: reuse the previous put's tree when the key provably
     // belongs there, skipping routing and the hash probe. The hinted
     // position only biases emplace_hint — std::map inserts correctly
     // regardless.
-    if (hint && hint->tree) {
+    if (hint && hint->tree && hint->epoch == epoch_) {
         const Subtable* sub = hint->table;
         // A '|'-terminated group owns every key sharing its prefix, but a
         // short-key group (no trailing separator) holds exactly one key —
-        // a longer key starting with it belongs to some other group.
+        // a longer key starting with it belongs to some other group. A
+        // main-tree hint holds whenever no subtable spec claims the key.
         bool routable = sub
-            ? key.size() >= sub->prefix.size()
-                  && key.compare(0, sub->prefix.size(), sub->prefix) == 0
+            ? key.starts_with(sub->prefix)
                   && (sub->prefix.back() == '|'
                       || key.size() == sub->prefix.size())
-            : !enable_subtables_ || specs_.empty();
+            : !enable_subtables_ || group_length(key) == 0;
         if (routable) {
             Tree::iterator guess = hint->pos;
-            if (guess != hint->tree->end())
+            if (guess != hint->tree->end()) {
+                if (Str(guess->first) == key) {
+                    // Overwriting the hinted entry: no descent, no node,
+                    // no key bytes — the zero-allocation maintenance path.
+                    if (inserted)
+                        *inserted = false;
+                    return overwrite(guess, value);
+                }
                 ++guess;  // appends land just after the previous entry
+            }
             Entry* e = insert_into(*hint->tree, true, guess, key, value, &pos,
                                    inserted);
             hint->pos = pos;
@@ -115,7 +140,7 @@ Entry* Store::put(const std::string& key, const std::string& value,
     if (enable_subtables_) {
         size_t glen = group_length(key);
         if (glen) {
-            sub = find_or_make_subtable(key.substr(0, glen));
+            sub = find_or_make_subtable(key.prefix(glen));
             tree = &sub->tree;
         }
     }
@@ -125,17 +150,21 @@ Entry* Store::put(const std::string& key, const std::string& value,
         hint->tree = tree;
         hint->table = sub;
         hint->pos = pos;
+        hint->epoch = epoch_;
     }
     return e;
 }
 
-size_t Store::erase_range(const std::string& lo, const std::string& hi) {
+size_t Store::erase_range(Str lo, Str hi) {
     if (!hi.empty() && !(lo < hi))
         return 0;
+    // Outstanding hints may reference erased iterators; invalidate them
+    // all rather than track which trees were touched.
+    ++epoch_;
     size_t removed = 0;
     auto erase_in = [&](Tree& tree) {
         auto it = tree.lower_bound(lo);
-        while (it != tree.end() && (hi.empty() || it->first < hi)) {
+        while (it != tree.end() && (hi.empty() || Str(it->first) < hi)) {
             --stats_.entry_count;
             stats_.key_bytes -= it->first.size();
             stats_.value_bytes -= it->second.value().size();
@@ -148,21 +177,21 @@ size_t Store::erase_range(const std::string& lo, const std::string& hi) {
     auto dit = tables_.upper_bound(lo);
     if (dit != tables_.begin()) {
         auto prev = std::prev(dit);
-        if (lo.size() >= prev->first.size()
-            && lo.compare(0, prev->first.size(), prev->first) == 0)
+        if (lo.starts_with(prev->first))
             dit = prev;
     }
-    for (; dit != tables_.end() && (hi.empty() || dit->first < hi); ++dit)
+    for (; dit != tables_.end() && (hi.empty() || Str(dit->first) < hi);
+         ++dit)
         erase_in(dit->second.tree);
     return removed;
 }
 
-const Entry* Store::get_ptr(const std::string& key) const {
+const Entry* Store::get_ptr(Str key) const {
     const Tree* tree = &tree_;
     if (enable_subtables_) {
         size_t glen = group_length(key);
         if (glen) {
-            const Subtable* sub = find_subtable(key.substr(0, glen));
+            const Subtable* sub = find_subtable(key.prefix(glen));
             if (!sub)
                 return nullptr;
             tree = &sub->tree;

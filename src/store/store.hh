@@ -6,17 +6,27 @@
 // hash O(1) to a tree of a few dozen entries instead of descending one
 // large tree of long keys (§4.1). Scans merge the main tree and subtable
 // blocks back into one ordered stream.
+//
+// All lookups take Str views and the trees use transparent comparators,
+// so routing a key to its group and probing a tree never constructs a
+// temporary std::string (§8): the only per-put allocations left are the
+// tree node and owned key bytes of a genuinely new entry.
 #ifndef PEQUOD_STORE_STORE_HH
 #define PEQUOD_STORE_STORE_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/base.hh"
+#include "common/pool.hh"
+#include "common/str.hh"
 
 namespace pequod {
 
@@ -29,8 +39,8 @@ class Entry {
     const std::string& value() const {
         return value_;
     }
-    void set_value(const std::string& v) {
-        value_ = v;
+    void set_value(Str v) {
+        value_.assign(v.data(), v.size());
     }
 
   private:
@@ -55,9 +65,15 @@ struct MemoryStats {
 
 class Store {
   public:
-    using Tree = std::map<std::string, Entry>;
+    // Tree nodes come from the store's own NodePool: a maintenance append
+    // bumps a warm slab (or reuses a freed node) instead of calling
+    // malloc. The pool lives behind a unique_ptr so trees can keep a
+    // stable allocator across Store moves.
+    using TreeAlloc = PoolAllocator<std::pair<const std::string, Entry>>;
+    using Tree = std::map<std::string, Entry, std::less<>, TreeAlloc>;
 
     struct Subtable {
+        explicit Subtable(NodePool* pool) : tree(TreeAlloc(pool)) {}
         std::string prefix;  // full group prefix, e.g. "t|00000042|"
         Tree tree;
     };
@@ -65,16 +81,23 @@ class Store {
     // Opaque insertion hint (§4.2 output hints). A valid hint remembers
     // which tree the previous put landed in and where, letting a
     // maintenance append skip the table routing and most of the tree
-    // descent. Wrong or stale hints only cost time, never correctness.
+    // descent — and an overwrite of the hinted key skip the descent
+    // entirely. Wrong or stale hints only cost time, never correctness;
+    // an erase invalidates every outstanding hint via the store epoch.
     struct Hint {
         Tree* tree = nullptr;  // nullptr => hint invalid
         Subtable* table = nullptr;
         Tree::iterator pos;
+        uint64_t epoch = 0;
     };
 
-    Store() = default;
+    Store() : Store(true) {}
     explicit Store(bool enable_subtables)
-        : enable_subtables_(enable_subtables) {}
+        : enable_subtables_(enable_subtables),
+          pool_(std::make_unique<NodePool>()),
+          tree_(TreeAlloc(pool_.get())) {}
+    Store(const Store&) = delete;
+    Store& operator=(const Store&) = delete;
 
     // Declare that keys under `prefix` are grouped into subtables by their
     // next `components` '|'-separated components. Must be configured
@@ -86,24 +109,33 @@ class Store {
         return enable_subtables_;
     }
 
+    // True when a grouping spec for exactly `prefix` has been configured
+    // (whether or not subtables are enabled).
+    bool has_subtable_spec(Str prefix) const {
+        for (const auto& spec : specs_)
+            if (Str(spec.first) == prefix)
+                return true;
+        return false;
+    }
+
     // Insert or overwrite. Returns the stored entry. With `hint`, tries
     // the hinted tree/position first and refreshes the hint afterwards.
     // `inserted` (when non-null) reports whether the key was new.
-    Entry* put(const std::string& key, const std::string& value,
-               Hint* hint = nullptr, bool* inserted = nullptr);
+    Entry* put(Str key, Str value, Hint* hint = nullptr,
+               bool* inserted = nullptr);
 
-    const Entry* get_ptr(const std::string& key) const;
+    const Entry* get_ptr(Str key) const;
 
     // Remove every entry with lo <= key < hi (empty hi == +infinity),
     // returning how many were removed. Emptied subtables keep their
     // directory slot: the group will likely refill, and a stable slot is
-    // what hints and the hash index rely on.
-    size_t erase_range(const std::string& lo, const std::string& hi);
+    // what hints and the hash index rely on. Invalidates output hints.
+    size_t erase_range(Str lo, Str hi);
 
     // Visit all entries with lo <= key < hi in key order. An empty `hi`
     // means +infinity. f(const std::string& key, const Entry&).
     template <typename F>
-    void scan(const std::string& lo, const std::string& hi, F f) const;
+    void scan(Str lo, Str hi, F f) const;
 
     const MemoryStats& memory_stats() const {
         return stats_;
@@ -121,29 +153,33 @@ class Store {
         48 + sizeof(std::string) + sizeof(Subtable) + 64;
 
     bool enable_subtables_ = true;
+    std::unique_ptr<NodePool> pool_;  // declared before the trees it feeds
     Tree tree_;  // keys not routed to any subtable
     // Directory ordered by group prefix, so scans can walk subtable
     // blocks in key order. std::map nodes give Subtables stable addresses
     // for the hash index and for hints.
-    std::map<std::string, Subtable> tables_;
-    std::unordered_map<std::string, Subtable*> table_index_;
+    std::map<std::string, Subtable, std::less<>> tables_;
+    std::unordered_map<std::string, Subtable*, StrHash, StrEqual>
+        table_index_;
     std::vector<std::pair<std::string, int>> specs_;
     MemoryStats stats_;
+    uint64_t epoch_ = 1;  // bumped by erase_range to invalidate hints
 
     // Length of `key`'s group prefix, or 0 when the key is not routed.
-    size_t group_length(const std::string& key) const;
-    Subtable* find_or_make_subtable(const std::string& group);
-    const Subtable* find_subtable(const std::string& group) const;
+    size_t group_length(Str key) const;
+    Subtable* find_or_make_subtable(Str group);
+    const Subtable* find_subtable(Str group) const;
+    Entry* overwrite(Tree::iterator it, Str value);
     Entry* insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
-                       const std::string& key, const std::string& value,
-                       Tree::iterator* out_pos, bool* inserted);
+                       Str key, Str value, Tree::iterator* out_pos,
+                       bool* inserted);
 };
 
 template <typename F>
-void Store::scan(const std::string& lo, const std::string& hi, F f) const {
+void Store::scan(Str lo, Str hi, F f) const {
     if (!hi.empty() && !(lo < hi))
         return;
-    auto below_hi = [&hi](const std::string& key) {
+    auto below_hi = [hi](Str key) {
         return hi.empty() || key < hi;
     };
     auto mit = tree_.lower_bound(lo);
@@ -152,8 +188,7 @@ void Store::scan(const std::string& lo, const std::string& hi, F f) const {
     auto dit = tables_.upper_bound(lo);
     if (dit != tables_.begin()) {
         auto prev = std::prev(dit);
-        if (lo.size() >= prev->first.size()
-            && lo.compare(0, prev->first.size(), prev->first) == 0)
+        if (lo.starts_with(prev->first))
             dit = prev;
     }
     // Main-tree keys never sort inside a subtable block (they would have

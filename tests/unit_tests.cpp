@@ -12,6 +12,7 @@
 #include "common/base.hh"
 #include "common/interval_map.hh"
 #include "common/rng.hh"
+#include "common/str.hh"
 #include "common/rangeset.hh"
 #include "core/server.hh"
 #include "join/join.hh"
@@ -19,6 +20,94 @@
 
 namespace pequod {
 namespace {
+
+TEST(Str, ComparisonAndOrdering) {
+    EXPECT_EQ(Str("abc"), Str(std::string("abc")));
+    EXPECT_NE(Str("abc"), Str("abd"));
+    EXPECT_NE(Str("abc"), Str("ab"));
+    EXPECT_LT(Str("ab"), Str("abc"));
+    EXPECT_LT(Str("abb"), Str("abc"));
+    EXPECT_GE(Str("abc"), Str("abc"));
+    // Mixed comparisons work through implicit conversion, both ways.
+    std::string s = "t|ann|";
+    EXPECT_TRUE(s < Str("t|ann}"));
+    EXPECT_TRUE(Str("t|ann|") == s);
+    // Embedded NULs compare bytewise, like std::string.
+    EXPECT_LT(Str("a", 1), Str("a\0", 2));
+    EXPECT_EQ(Str().compare(Str("")), 0);
+}
+
+TEST(Str, PrefixHelpers) {
+    Str key("t|ann|0000000100|bob");
+    EXPECT_TRUE(key.starts_with("t|"));
+    EXPECT_TRUE(key.starts_with("t|ann|"));
+    EXPECT_FALSE(key.starts_with("t|bob"));
+    EXPECT_TRUE(key.starts_with(""));
+    EXPECT_FALSE(Str("t").starts_with("t|"));
+    EXPECT_EQ(key.prefix(6), Str("t|ann|"));
+    EXPECT_EQ(key.substr(2, 3), Str("ann"));
+    EXPECT_EQ(key.substr(100, 5), Str(""));  // clamped, not UB
+    EXPECT_TRUE(prefixes_overlap(Str("t|"), Str("t|ann|")));
+    EXPECT_TRUE(prefixes_overlap(Str("t|ann|"), Str("t|")));
+    EXPECT_FALSE(prefixes_overlap(Str("t|ann|"), Str("t|bob|")));
+}
+
+TEST(Str, ComponentSplit) {
+    Str key("t|ann|0000000100|bob");
+    EXPECT_EQ(key.find('|'), 1u);
+    EXPECT_EQ(key.find('|', 2), 5u);
+    EXPECT_EQ(key.find('z'), Str::npos);
+    EXPECT_EQ(key.component(2), Str("ann"));
+    EXPECT_EQ(key.component(6), Str("0000000100"));
+    EXPECT_EQ(key.component(17), Str("bob"));  // last: runs to the end
+    EXPECT_EQ(key.component(100), Str(""));
+}
+
+TEST(Str, HashAgreesWithEquality) {
+    Str a("t|ann|0000000100");
+    std::string b_backing = "t|ann|0000000100";
+    EXPECT_EQ(a.hash(), Str(b_backing).hash());
+    EXPECT_NE(Str("t|ann").hash(), Str("t|bob").hash());
+    // The transparent functors used by the store's subtable index.
+    EXPECT_EQ(StrHash()(a), StrHash()(b_backing));
+    EXPECT_TRUE(StrEqual()(a, b_backing));
+}
+
+TEST(Str, OwnedSlotsOutliveTheMatchedKey) {
+    // The dangling-safety convention: SlotSet slices share the matched
+    // key's lifetime, so bindings kept past the match are copied into
+    // OwnedSlots, whose view re-slices owned storage.
+    SlotTable slots;
+    Pattern p = Pattern::parse("t|<user>|<time:10>|<poster>", slots);
+    OwnedSlots owned;
+    {
+        std::string key = "t|ann|0000000100|bob";
+        SlotSet ss;
+        ASSERT_TRUE(p.match(key, ss));
+        owned.assign(ss);
+        key.assign(key.size(), 'X');  // clobber the original backing
+    }
+    SlotSet view = owned.view();
+    EXPECT_EQ(view[slots.find("user")], Str("ann"));
+    EXPECT_EQ(view[slots.find("time")], Str("0000000100"));
+    EXPECT_EQ(view[slots.find("poster")], Str("bob"));
+    EXPECT_EQ(p.expand(view), "t|ann|0000000100|bob");
+}
+
+TEST(Str, KeyBufAppendsAndGrows) {
+    KeyBuf buf;
+    buf.append("t|");
+    buf.append(std::string("ann"));
+    buf.push_back('|');
+    EXPECT_EQ(buf.str(), Str("t|ann|"));
+    buf.clear();
+    EXPECT_EQ(buf.size(), 0u);
+    // Growth past the inline capacity keeps the contents intact.
+    std::string big(KeyBuf::kInlineCapacity * 3, 'x');
+    buf.append("head|");
+    buf.append(big);
+    EXPECT_EQ(buf.str(), Str("head|" + big));
+}
 
 TEST(Base, PadNumber) {
     EXPECT_EQ(pad_number(0, 4), "0000");

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Run the micro benchmarks and distill per-benchmark items/sec (and ns/op)
+# into BENCH_micro.json at the repo root, so the perf trajectory across
+# PRs is machine-readable. CI runs this and uploads the JSON; regenerate
+# locally with:
+#
+#     tools/run_benches.sh [path/to/micro_benchmarks] [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=${1:-build/bench/micro_benchmarks}
+OUT=${2:-BENCH_micro.json}
+MIN_TIME=${BENCH_MIN_TIME:-0.2}
+
+if [ ! -x "$BIN" ]; then
+    echo "error: benchmark binary '$BIN' not found (build with cmake first)" >&2
+    exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+"$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+benchmarks = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    entry = {"real_time_ns": round(b["real_time"], 1)}
+    if "items_per_second" in b:
+        entry["items_per_second"] = round(b["items_per_second"], 1)
+    benchmarks[b["name"]] = entry
+
+out = {
+    "context": {
+        "host": raw.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": raw.get("context", {}).get("num_cpus"),
+        "build_type": raw.get("context", {}).get("library_build_type"),
+        "date": raw.get("context", {}).get("date"),
+    },
+    "benchmarks": benchmarks,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+EOF
