@@ -205,39 +205,58 @@ void Server::put(Str key, Str value) {
     write(key, value, nullptr);
 }
 
-Entry* Server::write(Str key, Str value, WriteHint* hint) {
-    Table* t = nullptr;
-    // Hint fast path: reuse the previous write's table when the key
-    // provably belongs there (prefixes never nest, so a prefix match is
-    // ownership), skipping the directory lookup.
+// Hint fast path: reuse the previous write's table when the key provably
+// belongs there (prefixes never nest, so a prefix match is ownership),
+// skipping the directory lookup.
+Table* Server::route(Str key, WriteHint* hint) {
     if (hint && hint->table && hint->table != &root_
         && key.starts_with(hint->table->prefix()))
-        t = hint->table;
-    if (!t) {
-        t = &table_for(key);
-        if (hint)
-            hint->table = t;
-    }
+        return hint->table;
+    Table* t = &table_for(key);
+    if (hint)
+        hint->table = t;
+    return t;
+}
+
+// The unified write path: stab the owning table's updaters whether this
+// write came from a client or from another join's emission, so chained
+// joins stay eagerly fresh. Collect first, then apply: applying an
+// update can install new updaters (e.g. a new check-source match pulls
+// in a fresh copy range), and the interval map must not mutate mid-stab.
+// The per-table scratch cannot be re-entered: recursion only descends
+// into downstream tables, and cycles are rejected at add_join. `stored`
+// stays valid throughout for the same reason — recursion never erases or
+// rebalances the upstream table holding it.
+void Server::stab(Table& t, Str key, const Entry& stored, bool inserted) {
+    if (t.updaters().empty())
+        return;
+    std::vector<uint32_t>& hits = t.stab_scratch();
+    hits.clear();
+    t.updaters().stab(key, [&hits](const uint32_t& idx) {
+        hits.push_back(idx);
+    });
+    for (uint32_t idx : hits)
+        apply_update(*updaters_[idx], key, stored, inserted);
+}
+
+Entry* Server::write(Str key, Str value, WriteHint* hint) {
+    Table* t = route(key, hint);
     bool inserted = false;
     Entry* e =
         t->store().put(key, value, hint ? &hint->store : nullptr, &inserted);
-    // The unified write path: stab the owning table's updaters whether
-    // this write came from a client or from another join's emission, so
-    // chained joins stay eagerly fresh. Collect first, then apply:
-    // applying an update can install new updaters (e.g. a new
-    // check-source match pulls in a fresh copy range), and the interval
-    // map must not mutate mid-stab. The per-table scratch cannot be
-    // re-entered: recursion only descends into downstream tables, and
-    // cycles are rejected at add_join.
-    if (!t->updaters().empty()) {
-        std::vector<uint32_t>& hits = t->stab_scratch();
-        hits.clear();
-        t->updaters().stab(key, [&hits](const uint32_t& idx) {
-            hits.push_back(idx);
-        });
-        for (uint32_t idx : hits)
-            apply_update(*updaters_[idx], key, value, inserted);
-    }
+    stab(*t, key, *e, inserted);
+    return e;
+}
+
+Entry* Server::write_emitted(Str key, const Entry& src, WriteHint* hint) {
+    if (!config_.enable_value_sharing)
+        return write(key, src.value(), hint);
+    Table* t = route(key, hint);
+    bool inserted = false;
+    Entry* e = t->store().put_shared(key, src.share_value(),
+                                     hint ? &hint->store : nullptr,
+                                     &inserted);
+    stab(*t, key, *e, inserted);
     return e;
 }
 
@@ -317,8 +336,8 @@ void Server::freshen_table(Table& sink_table, Str lo, Str hi) {
     // eager updates keep the entire range fresh.
     SlotSet ss = sk.join.sink().derive_slot_set(lo, hi);
     KeyRange out = sk.join.sink().containing_range(ss);
-    auto emit = [this](Str key, Str value) {
-        write(key, value, nullptr);
+    auto emit = [this](Str key, const Entry& src) {
+        write_emitted(key, src, nullptr);
     };
     EmitRef emit_ref(emit);
     execute(sink_table, 0, ss, true, emit_ref);
@@ -367,13 +386,14 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
         .store()
         .scan(range.lo, range.hi,
               [&](const std::string& key, const Entry& e) {
+                  ++stat_source_rows_;
                   SlotSet bound = ss;
                   if (!pat.match(key, bound))
                       return;
                   if (last) {
                       KeyBuf sink_key;
                       join.sink().expand(bound, sink_key);
-                      emit(sink_key.str(), e.value());
+                      emit(sink_key.str(), e);
                   } else {
                       execute(sink_table, source_index + 1, bound,
                               install_updaters, emit);
@@ -381,7 +401,8 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
               });
 }
 
-void Server::apply_update(Updater& u, Str key, Str value, bool inserted) {
+void Server::apply_update(Updater& u, Str key, const Entry& stored,
+                          bool inserted) {
     Table::Sink& sk = u.sink_table->sink();
     // Copy the pre-sliced bindings and extend them from the written key:
     // nothing here allocates until a genuinely new entry is stored.
@@ -391,8 +412,8 @@ void Server::apply_update(Updater& u, Str key, Str value, bool inserted) {
     if (u.source_index + 1 == sk.join.nsource()) {
         KeyBuf sink_key;
         sk.join.sink().expand(bound, sink_key);
-        write(sink_key.str(), value,
-              config_.enable_output_hints ? &u.out : nullptr);
+        write_emitted(sink_key.str(), stored,
+                      config_.enable_output_hints ? &u.out : nullptr);
         ++stat_eager_updates_;
     } else if (!inserted) {
         // Overwriting an existing non-final (check) key: its downstream
@@ -403,8 +424,8 @@ void Server::apply_update(Updater& u, Str key, Str value, bool inserted) {
         // A non-final source changed (e.g. a new subscription): run the
         // rest of the join under the extended bindings, copying existing
         // source entries and installing updaters for the new ranges.
-        auto emit = [this](Str out_key, Str out_value) {
-            write(out_key, out_value, nullptr);
+        auto emit = [this](Str out_key, const Entry& src) {
+            write_emitted(out_key, src, nullptr);
         };
         EmitRef emit_ref(emit);
         execute(*u.sink_table, u.source_index + 1, bound, true, emit_ref);
@@ -414,8 +435,8 @@ void Server::apply_update(Updater& u, Str key, Str value, bool inserted) {
 void Server::pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f) {
     std::map<std::string, std::string, std::less<>> results;
     SlotSet ss = sink_table.sink().join.sink().derive_slot_set(lo, hi);
-    auto emit = [&results](Str key, Str value) {
-        results.insert_or_assign(key.str(), value.str());
+    auto emit = [&results](Str key, const Entry& src) {
+        results.insert_or_assign(key.str(), src.value());
     };
     EmitRef emit_ref(emit);
     execute(sink_table, 0, ss, false, emit_ref);
@@ -437,6 +458,7 @@ MemoryStats Server::memory_stats() const {
         total.structure_bytes += s.structure_bytes + kTableDirOverhead
             + 2 * entry.first.size();
         total.subtable_count += s.subtable_count;
+        total.shared_value_count += s.shared_value_count;
     }
     return total;
 }

@@ -46,6 +46,11 @@ struct ServerConfig {
     // §4.2: remember where each updater's previous output landed and hint
     // the next insert there, skipping the tree descent on appends.
     bool enable_output_hints = true;
+    // §4.3: a copy join's sink entry references the source entry's value
+    // buffer instead of duplicating the bytes; memory_stats() counts each
+    // shared buffer once. Off by default so the plain-KV hot path carries
+    // no refcount bookkeeping unless a deployment opts in.
+    bool enable_value_sharing = false;
 };
 
 class Server {
@@ -54,8 +59,9 @@ class Server {
     // (materialization, backfill, pull recomputation). The distribution
     // layer uses this to subscribe remote base ranges before the local
     // scan runs; the observer may put keys into this server re-entrantly.
-    using SourceObserver =
-        std::function<void(const std::string& lo, const std::string& hi)>;
+    // Takes Str views of the range bounds (valid only during the call) so
+    // the common no-op observation allocates nothing (§8).
+    using SourceObserver = std::function<void(Str lo, Str hi)>;
 
     Server() : Server(ServerConfig()) {}
     explicit Server(const ServerConfig& config)
@@ -101,12 +107,19 @@ class Server {
     uint64_t materialization_count() const {
         return stat_materializations_;
     }
+    // Source rows visited by join execution (materialization and pull
+    // recomputation) — what a relational per-row cost model charges for.
+    uint64_t source_rows_scanned() const {
+        return stat_source_rows_;
+    }
 
   private:
     using TableMap = std::map<std::string, Table, std::less<>>;
     using ScanRef = FnRef<void(const std::string&, const ValuePtr&)>;
     using RawRef = FnRef<void(const std::string&, const Entry&)>;
-    using EmitRef = FnRef<void(Str, Str)>;
+    // Join emission carries the source *entry*, not just its bytes, so
+    // the sink write can share the source's value buffer (§4.3).
+    using EmitRef = FnRef<void(Str, const Entry&)>;
 
     // Write-path hint: the owning table from the previous write plus the
     // in-table position hint, letting an eager append skip both the
@@ -140,14 +153,20 @@ class Server {
     const Table& table_for(Str key) const;
     TableMap::iterator first_overlapping(Str lo);
     Table& make_table(const std::string& prefix);
+    Table* route(Str key, WriteHint* hint);
     Entry* write(Str key, Str value, WriteHint* hint);
+    // Store `src`'s value under `key` by reference (value sharing) or by
+    // copy, per config_.enable_value_sharing.
+    Entry* write_emitted(Str key, const Entry& src, WriteHint* hint);
+    void stab(Table& t, Str key, const Entry& stored, bool inserted);
     void scan_impl(Str lo, Str hi, const ScanRef& f);
     void raw_scan(Str lo, Str hi, const RawRef& f);
     void freshen(Str lo, Str hi);
     void freshen_table(Table& sink_table, Str lo, Str hi);
     void execute(Table& sink_table, int source_index, const SlotSet& ss,
                  bool install_updaters, const EmitRef& emit);
-    void apply_update(Updater& u, Str key, Str value, bool inserted);
+    void apply_update(Updater& u, Str key, const Entry& stored,
+                      bool inserted);
     void pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f);
 
     ServerConfig config_;
@@ -158,6 +177,7 @@ class Server {
     SourceObserver observer_;
     uint64_t stat_eager_updates_ = 0;
     uint64_t stat_materializations_ = 0;
+    uint64_t stat_source_rows_ = 0;
 };
 
 }  // namespace pequod

@@ -159,10 +159,9 @@ ComputeServer::ComputeServer(Cluster& cluster) : Node(cluster) {
         engine_.set_subtable_components(prefix, 1);
     for (const std::string& prefix : sinks)
         engine_.set_subtable_components(prefix, 1);
-    engine_.set_source_observer(
-        [this](const std::string& lo, const std::string& hi) {
-            will_scan_source(lo, hi);
-        });
+    engine_.set_source_observer([this](Str lo, Str hi) {
+        will_scan_source(lo, hi);
+    });
 }
 
 void ComputeServer::handle(int from, net::Message&& m) {
@@ -190,17 +189,19 @@ void ComputeServer::handle(int from, net::Message&& m) {
     }
 }
 
-void ComputeServer::will_scan_source(const std::string& lo,
-                                     const std::string& hi) {
+// Str in, per the observer's allocation-free contract: the common cases
+// — a local range, or one already subscribed — return without copying
+// the bounds; only an actual subscription materializes strings.
+void ComputeServer::will_scan_source(Str lo, Str hi) {
     if (!cluster_.is_base_range(lo))
         return;  // a local table (e.g. a chained join's sink)
     if (subscribed_.covers(lo, hi))
         return;
-    subscribed_.add(lo, hi);
+    subscribed_.add(lo.str(), hi.str());
     net::Message m;
     m.type = net::MsgType::kSubscribe;
-    m.key = lo;
-    m.value = hi;
+    m.key.assign(lo.data(), lo.size());
+    m.value.assign(hi.data(), hi.size());
     // The backfill arrives synchronously (as kNotify) before this
     // returns, re-entering the engine with the range's current contents.
     // A range confined to one table group has one home base server; a
@@ -289,8 +290,7 @@ int Cluster::home_base(const std::string& key) const {
     throw std::invalid_argument("no base table owns key '" + key + "'");
 }
 
-int Cluster::home_base_for_range(const std::string& lo,
-                                 const std::string& hi) const {
+int Cluster::home_base_for_range(Str lo, Str hi) const {
     for (const std::string& prefix : config_.base_tables) {
         if (!starts_with(lo, prefix))
             continue;
@@ -298,17 +298,17 @@ int Cluster::home_base_for_range(const std::string& lo,
         // One home server only when [lo, hi) stays inside lo's group —
         // and lo actually names a group beyond the bare table prefix.
         if (group.size() > prefix.size() && !hi.empty()
-            && Str(hi) <= Str(prefix_successor(group)))
+            && hi <= Str(prefix_successor(group)))
             return static_cast<int>(
                 group.hash()
                 % static_cast<uint64_t>(config_.base_servers));
         return -1;
     }
-    throw std::invalid_argument("no base table owns range from '" + lo
-                                + "'");
+    throw std::invalid_argument("no base table owns range from '"
+                                + lo.str() + "'");
 }
 
-bool Cluster::is_base_range(const std::string& lo) const {
+bool Cluster::is_base_range(Str lo) const {
     for (const std::string& prefix : config_.base_tables)
         if (starts_with(lo, prefix))
             return true;

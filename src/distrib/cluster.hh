@@ -115,7 +115,7 @@ class ComputeServer : public Node {
 
   private:
     void handle(int from, net::Message&& m) override;
-    void will_scan_source(const std::string& lo, const std::string& hi);
+    void will_scan_source(Str lo, Str hi);
 
     Server engine_;
     RangeSet subscribed_;
@@ -203,15 +203,14 @@ class Cluster {
     // The single base server owning all of [lo, hi), or -1 when the
     // range spans table groups and is therefore sharded across every
     // base server.
-    int home_base_for_range(const std::string& lo,
-                            const std::string& hi) const;
+    int home_base_for_range(Str lo, Str hi) const;
     bool is_server(int endpoint_id) const {
         return endpoint_id
             < config_.base_servers + config_.compute_servers;
     }
     // True when [lo, ...) addresses a base-tier table (a range the
     // compute tier must subscribe rather than own).
-    bool is_base_range(const std::string& lo) const;
+    bool is_base_range(Str lo) const;
 
   private:
     Config config_;

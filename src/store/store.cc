@@ -59,16 +59,34 @@ const Store::Subtable* Store::find_subtable(Str group) const {
     return hit != table_index_.end() ? hit->second : nullptr;
 }
 
-Entry* Store::overwrite(Tree::iterator it, Str value) {
-    stats_.value_bytes -= it->second.value().size();
-    it->second.set_value(value);
-    stats_.value_bytes += value.size();
+// Settle `e`'s value to either owned bytes (`sv` null) or the shared
+// buffer `sv` (one reference consumed), adjusting the accounting deltas:
+// a sharer is charged a reference's structure bytes instead of payload.
+void Store::apply_value(Entry& e, Str value, SharedValue* sv) {
+    stats_.value_bytes -= e.accounted_value_bytes();
+    if (e.shares_value()) {
+        stats_.structure_bytes -= kSharedRefOverhead;
+        --stats_.shared_value_count;
+    }
+    if (sv)
+        e.adopt_shared(sv);
+    else
+        e.set_value(value);
+    stats_.value_bytes += e.accounted_value_bytes();
+    if (e.shares_value()) {
+        stats_.structure_bytes += kSharedRefOverhead;
+        ++stats_.shared_value_count;
+    }
+}
+
+Entry* Store::overwrite(Tree::iterator it, Str value, SharedValue* sv) {
+    apply_value(it->second, value, sv);
     return &it->second;
 }
 
 Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
-                          Str key, Str value, Tree::iterator* out_pos,
-                          bool* inserted) {
+                          Str key, Str value, SharedValue* sv,
+                          Tree::iterator* out_pos, bool* inserted) {
     size_t before = tree.size();
     Tree::iterator it;
     if (use_hint) {
@@ -91,16 +109,23 @@ Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
         ++stats_.entry_count;
         stats_.key_bytes += key.size();
         stats_.structure_bytes += kNodeOverhead;
-    } else {
-        stats_.value_bytes -= it->second.value().size();
     }
-    it->second.set_value(value);
-    stats_.value_bytes += value.size();
+    apply_value(it->second, value, sv);
     *out_pos = it;
     return &it->second;
 }
 
 Entry* Store::put(Str key, Str value, Hint* hint, bool* inserted) {
+    return put_impl(key, value, nullptr, hint, inserted);
+}
+
+Entry* Store::put_shared(Str key, SharedValue* sv, Hint* hint,
+                         bool* inserted) {
+    return put_impl(key, Str(), sv, hint, inserted);
+}
+
+Entry* Store::put_impl(Str key, Str value, SharedValue* sv, Hint* hint,
+                       bool* inserted) {
     Tree::iterator pos;
     // Hint fast path: reuse the previous put's tree when the key provably
     // belongs there, skipping routing and the hash probe. The hinted
@@ -125,12 +150,12 @@ Entry* Store::put(Str key, Str value, Hint* hint, bool* inserted) {
                     // no key bytes — the zero-allocation maintenance path.
                     if (inserted)
                         *inserted = false;
-                    return overwrite(guess, value);
+                    return overwrite(guess, value, sv);
                 }
                 ++guess;  // appends land just after the previous entry
             }
-            Entry* e = insert_into(*hint->tree, true, guess, key, value, &pos,
-                                   inserted);
+            Entry* e = insert_into(*hint->tree, true, guess, key, value, sv,
+                                   &pos, inserted);
             hint->pos = pos;
             return e;
         }
@@ -144,8 +169,8 @@ Entry* Store::put(Str key, Str value, Hint* hint, bool* inserted) {
             tree = &sub->tree;
         }
     }
-    Entry* e = insert_into(*tree, false, Tree::iterator(), key, value, &pos,
-                           inserted);
+    Entry* e = insert_into(*tree, false, Tree::iterator(), key, value, sv,
+                           &pos, inserted);
     if (hint) {
         hint->tree = tree;
         hint->table = sub;
@@ -167,8 +192,12 @@ size_t Store::erase_range(Str lo, Str hi) {
         while (it != tree.end() && (hi.empty() || Str(it->first) < hi)) {
             --stats_.entry_count;
             stats_.key_bytes -= it->first.size();
-            stats_.value_bytes -= it->second.value().size();
+            stats_.value_bytes -= it->second.accounted_value_bytes();
             stats_.structure_bytes -= kNodeOverhead;
+            if (it->second.shares_value()) {
+                stats_.structure_bytes -= kSharedRefOverhead;
+                --stats_.shared_value_count;
+            }
             it = tree.erase(it);
             ++removed;
         }

@@ -30,34 +30,137 @@
 
 namespace pequod {
 
+// A refcounted value buffer (§4.3 value sharing). A copy join's sink
+// entry can hold a reference to its source entry's buffer instead of
+// duplicating the bytes; overwriting the source writes through the
+// shared buffer, so every sharer observes the new value immediately —
+// which is exactly the freshness the eager-maintenance path guarantees
+// anyway. The buffer dies with its last reference, so a shared value
+// survives even if the owning (source) entry is erased first.
+class SharedValue {
+  public:
+    explicit SharedValue(std::string s) : s_(std::move(s)) {}
+    SharedValue(const SharedValue&) = delete;
+    SharedValue& operator=(const SharedValue&) = delete;
+
+    const std::string& str() const {
+        return s_;
+    }
+    void assign(Str v) {
+        s_.assign(v.data(), v.size());
+    }
+    uint32_t refs() const {
+        return refs_;
+    }
+    SharedValue* ref() {
+        ++refs_;
+        return this;
+    }
+    // Drops one reference, deleting the buffer at zero. `sv` may be null.
+    static void unref(SharedValue* sv) {
+        if (sv && --sv->refs_ == 0)
+            delete sv;
+    }
+
+  private:
+    std::string s_;
+    uint32_t refs_ = 1;
+};
+
 // A stored datum. Wrapped (rather than a bare string) so per-key metadata
-// can grow without touching every call site.
+// can grow without touching every call site. The value lives either
+// inline (`value_`, the common case) or in a SharedValue buffer; an entry
+// holding a buffer is its *owner* when it promoted the buffer (a source
+// entry whose bytes were shared out) and a *sharer* otherwise (a copy
+// join's sink entry). Only owners account the payload bytes, so
+// memory_stats() counts each shared value once.
 class Entry {
   public:
     Entry() = default;
     explicit Entry(std::string value) : value_(std::move(value)) {}
-    const std::string& value() const {
-        return value_;
+    Entry(const Entry&) = delete;
+    Entry& operator=(const Entry&) = delete;
+    ~Entry() {
+        SharedValue::unref(sv_);
     }
+
+    const std::string& value() const {
+        return sv_ ? sv_->str() : value_;
+    }
+
+    // Write `v` in place. An owner writes through its shared buffer (all
+    // sharers see the new bytes); a sharer detaches first — a direct
+    // overwrite of a sink entry must not clobber the source.
     void set_value(Str v) {
-        value_.assign(v.data(), v.size());
+        if (sv_ && !owns_) {
+            SharedValue::unref(sv_);
+            sv_ = nullptr;
+        }
+        if (sv_)
+            sv_->assign(v);
+        else
+            value_.assign(v.data(), v.size());
+    }
+
+    // A new reference to this entry's value buffer, promoting the inline
+    // bytes into a SharedValue on first use. Representation-only change
+    // (the observable value is identical), hence const + mutable members.
+    SharedValue* share_value() const {
+        if (!sv_) {
+            sv_ = new SharedValue(std::move(value_));
+            owns_ = true;
+        }
+        return sv_->ref();
+    }
+
+    // Take over one reference to `sv` as this entry's value (the caller's
+    // reference is consumed). Adopting the buffer already held is a no-op.
+    void adopt_shared(SharedValue* sv) {
+        SharedValue::unref(sv_);  // ordering safe: sv holds a caller ref
+        sv_ = sv;
+        owns_ = false;
+        value_.clear();
+    }
+
+    // True for a sink entry referencing some source's buffer.
+    bool shares_value() const {
+        return sv_ && !owns_;
+    }
+    // Payload bytes this entry is charged for: sharers are charged
+    // nothing (their owner counts the buffer).
+    size_t accounted_value_bytes() const {
+        return shares_value() ? 0 : value().size();
     }
 
   private:
-    std::string value_;
+    mutable std::string value_;
+    mutable SharedValue* sv_ = nullptr;
+    mutable bool owns_ = false;
 };
 
 // What Server::scan callbacks receive: a pointer to the stored (or, for
 // pull joins, freshly computed) value.
 using ValuePtr = const std::string*;
 
+// Estimated, not exact: structure costs are modeled constants, and a
+// shared value's payload is charged to the entry that promoted it (its
+// owner) for as long as that entry lives. Erasing an owner whose buffer
+// is still referenced subtracts the payload even though the buffer
+// survives — the erasing store cannot reach the sharers to hand the
+// charge over — so value_bytes undercounts by the orphaned buffers'
+// size until the last sharer dies. The engine's join workloads never
+// erase shared sources, so the window is empty in practice.
 struct MemoryStats {
     size_t entry_count = 0;
     size_t key_bytes = 0;        // key payload bytes
-    size_t value_bytes = 0;      // value payload bytes
+    size_t value_bytes = 0;      // value payload bytes, shared buffers
+                                 // counted once (at their owner)
     size_t structure_bytes = 0;  // tree nodes, string headers, subtable
-                                 // directory + hash index bookkeeping
+                                 // directory + hash index bookkeeping,
+                                 // shared-value references
     size_t subtable_count = 0;
+    size_t shared_value_count = 0;  // entries referencing another
+                                    // entry's value buffer (§4.3)
     size_t total() const {
         return key_bytes + value_bytes + structure_bytes;
     }
@@ -124,6 +227,13 @@ class Store {
     Entry* put(Str key, Str value, Hint* hint = nullptr,
                bool* inserted = nullptr);
 
+    // Insert or overwrite with a shared value buffer (§4.3): the entry
+    // adopts one reference to `sv` (the caller's reference is consumed)
+    // instead of copying the bytes, and is charged only a reference's
+    // structure overhead — the buffer's owner accounts the payload.
+    Entry* put_shared(Str key, SharedValue* sv, Hint* hint = nullptr,
+                      bool* inserted = nullptr);
+
     const Entry* get_ptr(Str key) const;
 
     // Remove every entry with lo <= key < hi (empty hi == +infinity),
@@ -148,6 +258,9 @@ class Store {
     // Estimated allocator cost beyond payload bytes: a red-black node
     // (3 pointers + color, padded) plus two std::string headers.
     static constexpr size_t kNodeOverhead = 48 + 2 * sizeof(std::string);
+    // A shared-value reference: the sharer's pointer plus its portion of
+    // the buffer's refcount header.
+    static constexpr size_t kSharedRefOverhead = sizeof(void*) + 8;
     // Directory node + Tree object + hash-index slot for one subtable.
     static constexpr size_t kSubtableOverhead =
         48 + sizeof(std::string) + sizeof(Subtable) + 64;
@@ -169,10 +282,15 @@ class Store {
     size_t group_length(Str key) const;
     Subtable* find_or_make_subtable(Str group);
     const Subtable* find_subtable(Str group) const;
-    Entry* overwrite(Tree::iterator it, Str value);
+    // Store `value` (bytes) or adopt `sv` (shared buffer) into `e`,
+    // keeping value-byte / shared-reference accounting balanced.
+    void apply_value(Entry& e, Str value, SharedValue* sv);
+    Entry* overwrite(Tree::iterator it, Str value, SharedValue* sv);
     Entry* insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
-                       Str key, Str value, Tree::iterator* out_pos,
-                       bool* inserted);
+                       Str key, Str value, SharedValue* sv,
+                       Tree::iterator* out_pos, bool* inserted);
+    Entry* put_impl(Str key, Str value, SharedValue* sv, Hint* hint,
+                    bool* inserted);
 };
 
 template <typename F>

@@ -149,6 +149,38 @@ TEST(AllocGuard, HintedEagerUpdateIsAllocationFree) {
               eager_before + 100u * followers);
 }
 
+TEST(AllocGuard, ValueSharingEagerOverwriteIsAllocationFree) {
+    // With §4.3 value sharing on, a warmed eager overwrite is not just
+    // copy-free but byte-copy-free: the source overwrite writes through
+    // its shared buffer in place, and each sink write re-adopts the same
+    // buffer (a refcount bump), never duplicating the value.
+    const int followers = 8;
+    ServerConfig config;
+    config.enable_value_sharing = true;
+    Server server(config);
+    server.add_join(
+        "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>");
+    for (int f = 0; f < followers; ++f)
+        server.put("s|" + pad_number(static_cast<uint64_t>(f), 6) + "|star",
+                   "1");
+    std::string post_key = "p|star|" + pad_number(1, 10);
+    std::string body(100, 'x');  // far past SSO: a copy would allocate
+    server.put(post_key, body);
+    for (int f = 0; f < followers; ++f) {
+        std::string lo = "t|" + pad_number(static_cast<uint64_t>(f), 6) + "|";
+        server.scan(lo, prefix_successor(lo),
+                    [](const std::string&, const ValuePtr&) {});
+    }
+    uint64_t eager_before = server.eager_update_count();
+    uint64_t allocs = allocations_after_warmup([&] {
+        for (int i = 0; i < 50; ++i)
+            server.put(post_key, body);
+    });
+    EXPECT_EQ(allocs, 0u);
+    EXPECT_EQ(server.eager_update_count(),
+              eager_before + 100u * followers);
+}
+
 TEST(AllocGuard, HintedAppendAllocatesOnlyNodeAndKey) {
     // A genuinely new entry must allocate exactly its tree node and its
     // owned key bytes — the refactor's floor — and nothing else. Value

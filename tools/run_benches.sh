@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
 # Run the micro benchmarks and distill per-benchmark items/sec (and ns/op)
 # into BENCH_micro.json at the repo root, so the perf trajectory across
-# PRs is machine-readable. CI runs this and uploads the JSON; regenerate
-# locally with:
+# PRs is machine-readable. When the figure harnesses are built, also run
+# fig7 (system-comparison completion-time ratios), fig9 (the interleaved
+# crossover vote rate), and the §4.3 value-sharing ablation at smoke
+# scale and record their headline numbers under "figures". CI runs this
+# and uploads the JSON; regenerate locally with:
 #
 #     tools/run_benches.sh [path/to/micro_benchmarks] [output.json]
+#
+# Smoke parameters (CI-sized; the paper-scale runs are documented in
+# DESIGN.md §9) can be overridden with FIG7_ARGS / FIG9_ARGS /
+# SHARING_ARGS, or skipped entirely with SKIP_FIGS=1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BIN=${1:-build/bench/micro_benchmarks}
 OUT=${2:-BENCH_micro.json}
 MIN_TIME=${BENCH_MIN_TIME:-0.2}
+BENCH_DIR=$(dirname "$BIN")
+FIG7_ARGS=${FIG7_ARGS:-"400 12"}
+FIG9_ARGS=${FIG9_ARGS:-"3000"}
+SHARING_ARGS=${SHARING_ARGS:-"400 10"}
 
 if [ ! -x "$BIN" ]; then
     echo "error: benchmark binary '$BIN' not found (build with cmake first)" >&2
@@ -18,14 +29,27 @@ if [ ! -x "$BIN" ]; then
 fi
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+FIG7_RAW=$(mktemp)
+FIG9_RAW=$(mktemp)
+SHARING_RAW=$(mktemp)
+trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
 
-python3 - "$RAW" "$OUT" <<'EOF'
+if [ "${SKIP_FIGS:-0}" != "1" ]; then
+    [ -x "$BENCH_DIR/fig7_system_comparison" ] \
+        && "$BENCH_DIR/fig7_system_comparison" $FIG7_ARGS > "$FIG7_RAW"
+    [ -x "$BENCH_DIR/fig9_interleaved" ] \
+        && "$BENCH_DIR/fig9_interleaved" $FIG9_ARGS > "$FIG9_RAW"
+    [ -x "$BENCH_DIR/ablation_value_sharing" ] \
+        && "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
+fi
+
+python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" <<'EOF'
 import json
+import re
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, fig7_path, fig9_path, sharing_path = sys.argv[1:6]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -38,6 +62,40 @@ for b in raw.get("benchmarks", []):
         entry["items_per_second"] = round(b["items_per_second"], 1)
     benchmarks[b["name"]] = entry
 
+figures = {}
+
+# Fig 7: "pequod    2.09s    1.00x   (197.06s, 1.00x)" per system.
+fig7 = {}
+for line in open(fig7_path):
+    m = re.match(r"^(\S.*?)\s+(\d+\.\d+)s\s+(\d+\.\d+)x\s+\(", line)
+    if m:
+        fig7[m.group(1).strip()] = {
+            "runtime_s": float(m.group(2)),
+            "factor": float(m.group(3)),
+        }
+if fig7:
+    figures["fig7_completion_factors"] = fig7
+
+# Fig 9: "80   1.255   1.283   separate" per vote rate; the crossover is
+# the first rate where separate RPCs win.
+crossover = None
+rates = 0
+for line in open(fig9_path):
+    m = re.match(r"^(\d+)\s+(\d+\.\d+)\s+(\d+\.\d+)\s+(\w+)$", line)
+    if m:
+        rates += 1
+        if m.group(4) == "separate" and crossover is None:
+            crossover = int(m.group(1))
+if rates:
+    figures["fig9_crossover_vote_rate_pct"] = (
+        crossover if crossover is not None else 100)
+
+# §4.3: "memory saved by value sharing: 1.34x (paper 1.14x)".
+for line in open(sharing_path):
+    m = re.match(r"^memory saved by value sharing: (\d+\.\d+)x", line)
+    if m:
+        figures["value_sharing_memory_factor"] = float(m.group(1))
+
 out = {
     "context": {
         "host": raw.get("context", {}).get("host_name", "unknown"),
@@ -47,8 +105,11 @@ out = {
     },
     "benchmarks": benchmarks,
 }
+if figures:
+    out["figures"] = figures
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+print(f"wrote {out_path} ({len(benchmarks)} benchmarks, "
+      f"{len(figures)} figure summaries)")
 EOF
