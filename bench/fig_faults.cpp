@@ -1,0 +1,269 @@
+// Fault injection and recovery (DESIGN.md §10): a Twip workload runs
+// against the base/compute cluster while a partition severs half the
+// compute tier from half the base tier, then heals. The harness reports
+// throughput (checks / mean per-compute busy time, as in Fig 10) and the
+// stale-read rate — a read is stale when the served timeline differs
+// from a fault-free single-server oracle fed the same acknowledged
+// writes — through three phases: before the partition, during it, and
+// after healing. Recovery time is the number of maintenance rounds
+// (settle + heartbeat tick) after the heal until a full sweep of every
+// timeline is stale-free.
+//
+// Exits nonzero if the cluster fails to converge or serves stale reads
+// after convergence, so the smoke registration guards the §10 protocol.
+//
+//   ./build/bench/fig_faults [users] [rounds_per_phase] [--seed N]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/graph.hh"
+#include "core/server.hh"
+#include "distrib/cluster.hh"
+
+using namespace pequod;
+using namespace pequod::distrib;
+
+int main(int argc, char** argv) {
+    apps::SocialGraph::Config gcfg;
+    gcfg.users = 600;
+    gcfg.avg_following = 25;
+    int rounds_per_phase = 5;
+    uint64_t seed = 1;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (positional == 0) {
+            gcfg.users = static_cast<uint32_t>(std::atoi(argv[i]));
+            ++positional;
+        } else if (positional == 1) {
+            rounds_per_phase = std::atoi(argv[i]);
+            ++positional;
+        }
+    }
+    auto graph = apps::SocialGraph::generate(gcfg);
+    auto ukey = [](uint32_t u) { return pad_number(u, 8); };
+
+    Cluster::Config ccfg;
+    ccfg.base_servers = 4;
+    ccfg.compute_servers = 4;
+    ccfg.base_tables = {"s|", "p|"};
+    ccfg.joins = "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>";
+    Cluster cluster(ccfg);
+    cluster.network().set_fault_seed(seed);
+    Server oracle;
+    oracle.add_join(ccfg.joins);
+
+    std::printf("Fig faults: partition and recovery (%u users, %llu edges,"
+                " %d rounds/phase, seed %llu)\n",
+                gcfg.users,
+                static_cast<unsigned long long>(graph.edge_count()),
+                rounds_per_phase, static_cast<unsigned long long>(seed));
+
+    // Load the follower graph and a post history, mirrored into the
+    // oracle; then warm every timeline (§5.5's logged-in users).
+    for (uint32_t u = 0; u < gcfg.users; ++u)
+        for (uint32_t p : graph.following(u)) {
+            std::string key = "s|" + ukey(u) + "|" + ukey(p);
+            if (cluster.put(key, "1"))
+                oracle.put(key, "1");
+        }
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 7);
+    uint64_t now = 1;
+    for (uint32_t i = 0; i < gcfg.users; ++i) {
+        uint32_t poster = graph.sample_poster(rng);
+        std::string key = "p|" + ukey(poster) + "|" + pad_number(now++, 10);
+        if (cluster.put(key, "tweet"))
+            oracle.put(key, "tweet");
+    }
+    cluster.settle();
+    for (uint32_t u = 0; u < gcfg.users; ++u) {
+        std::string lo = "t|" + ukey(u) + "|";
+        cluster.client().scan(cluster.compute_for(ukey(u)).id(), lo,
+                              prefix_successor(lo), nullptr);
+    }
+    cluster.settle();
+
+    // A check is a full-timeline read compared against the oracle.
+    auto check_user = [&](uint32_t u, bool* stale) {
+        std::string lo = "t|" + ukey(u) + "|";
+        std::string hi = prefix_successor(lo);
+        ScanResult got;
+        bool ok = cluster.client().scan(cluster.compute_for(ukey(u)).id(),
+                                        lo, hi, &got);
+        ScanResult want;
+        oracle.scan(lo, hi,
+                    [&want](const std::string& k, const ValuePtr& v) {
+                        want.emplace_back(k, *v);
+                    });
+        *stale = !ok || got != want;
+    };
+    auto compute_busy = [&]() {
+        double busy = 0;
+        for (int c = 0; c < ccfg.compute_servers; ++c)
+            busy += cluster.compute(c).stats().busy_seconds;
+        return busy;
+    };
+    auto compute_msgs = [&]() {
+        uint64_t m = 0;
+        for (int c = 0; c < ccfg.compute_servers; ++c)
+            m += cluster.compute(c).stats().messages;
+        return m;
+    };
+    auto compute_bytes = [&]() {
+        uint64_t m = 0;
+        for (int c = 0; c < ccfg.compute_servers; ++c)
+            m += cluster.compute(c).stats().server_bytes;
+        return m;
+    };
+    // One workload round: writes land and propagate first, then every
+    // user checks. A healthy cluster therefore reads 0% stale; any
+    // staleness left after settle + tick is fault-induced.
+    auto run_round = [&](uint64_t* checks, uint64_t* stale_reads) {
+        for (uint32_t u = 0; u < gcfg.users; ++u) {
+            if (rng.below(10) == 0) {
+                std::string key = "s|" + ukey(u) + "|"
+                    + ukey(static_cast<uint32_t>(rng.below(gcfg.users)));
+                if (cluster.put(key, "1"))
+                    oracle.put(key, "1");
+            }
+            if (rng.below(100) == 0) {
+                uint32_t poster = graph.sample_poster(rng);
+                std::string key =
+                    "p|" + ukey(poster) + "|" + pad_number(now++, 10);
+                if (cluster.put(key, "tweet"))
+                    oracle.put(key, "tweet");
+            }
+        }
+        cluster.settle();
+        cluster.tick();
+        for (uint32_t u = 0; u < gcfg.users; ++u) {
+            bool stale = false;
+            check_user(u, &stale);
+            ++*checks;
+            if (stale)
+                ++*stale_reads;
+        }
+    };
+    auto run_phase = [&](const char* name, double* qps,
+                         uint64_t* stale_out) {
+        uint64_t checks = 0, stale_reads = 0;
+        double busy0 = compute_busy();
+        uint64_t msgs0 = compute_msgs(), bytes0 = compute_bytes();
+        for (int r = 0; r < rounds_per_phase; ++r)
+            run_round(&checks, &stale_reads);
+        double mean_busy =
+            (compute_busy() - busy0) / ccfg.compute_servers;
+        *qps = static_cast<double>(checks) / mean_busy;
+        *stale_out = stale_reads;
+        std::printf("%-12s %10.0f qps   %6.2f%% stale (%llu/%llu)   "
+                    "%llu msgs  %llu KB\n",
+                    name, *qps,
+                    100.0 * static_cast<double>(stale_reads)
+                        / static_cast<double>(checks),
+                    static_cast<unsigned long long>(stale_reads),
+                    static_cast<unsigned long long>(checks),
+                    static_cast<unsigned long long>(compute_msgs() - msgs0),
+                    static_cast<unsigned long long>(
+                        (compute_bytes() - bytes0) >> 10));
+        std::fflush(stdout);
+        if (std::getenv("FIG_FAULTS_DEBUG")) {
+            uint64_t g=0,r=0,inv=0,rs=0,rt=0,ab=0,stray=0,dup=0,stale_e=0;
+            for (int c = 0; c < ccfg.compute_servers; ++c) {
+                const FaultStats& fs = cluster.compute(c).fault_stats();
+                g+=fs.gaps_detected; r+=fs.base_restarts_detected;
+                inv+=fs.invalidated_ranges; rs+=fs.resubscribes;
+                rt+=fs.retries; ab+=fs.abandoned; stray+=fs.stray_drops;
+                dup+=fs.duplicate_drops; stale_e+=fs.stale_epoch_drops;
+            }
+            std::printf("  [dbg] gaps=%llu restarts=%llu inval=%llu resub=%llu retries=%llu abandoned=%llu stray=%llu dup=%llu stale_epoch=%llu\n",
+                (unsigned long long)g,(unsigned long long)r,(unsigned long long)inv,(unsigned long long)rs,(unsigned long long)rt,(unsigned long long)ab,(unsigned long long)stray,(unsigned long long)dup,(unsigned long long)stale_e);
+        }
+    };
+
+    // Phase 1: healthy baseline.
+    double qps_before = 0;
+    uint64_t stale_before = 0;
+    run_phase("pre-fault", &qps_before, &stale_before);
+
+    // Phase 2: partition computes {0, 1} from bases {0, 1} — half the
+    // compute tier loses half its subscription feeds. Writes still land
+    // (the client reaches every base), so partitioned timelines go stale.
+    cluster.network().set_partition(
+        {0, 1}, {cluster.compute(0).id(), cluster.compute(1).id()});
+    double qps_during = 0;
+    uint64_t stale_during = 0;
+    run_phase("partitioned", &qps_during, &stale_during);
+
+    // Phase 3: heal, then count maintenance rounds until a full sweep of
+    // every timeline is stale-free (gap detection, invalidation, and
+    // re-subscription all happen inside these rounds).
+    cluster.network().clear_partitions();
+    const int kMaxRecoveryRounds = 30;
+    int recovery_rounds = -1;
+    for (int r = 1; r <= kMaxRecoveryRounds; ++r) {
+        cluster.tick();
+        cluster.settle();
+        uint64_t stale = 0;
+        for (uint32_t u = 0; u < gcfg.users; ++u) {
+            bool s = false;
+            check_user(u, &s);
+            if (s)
+                ++stale;
+        }
+        if (stale == 0) {
+            recovery_rounds = r;
+            break;
+        }
+    }
+    if (std::getenv("FIG_FAULTS_DEBUG")) {
+        uint64_t g=0,inv=0,rs=0,rt=0,se=0;
+        for (int c = 0; c < ccfg.compute_servers; ++c) {
+            const FaultStats& fs = cluster.compute(c).fault_stats();
+            g+=fs.gaps_detected; inv+=fs.invalidated_ranges;
+            rs+=fs.resubscribes; rt+=fs.retries; se+=fs.stale_epoch_drops;
+        }
+        std::printf("  [dbg after recovery loop] gaps=%llu inval=%llu resub=%llu retries=%llu stale_epoch=%llu\n",
+            (unsigned long long)g,(unsigned long long)inv,(unsigned long long)rs,(unsigned long long)rt,(unsigned long long)se);
+    }
+    if (recovery_rounds < 0) {
+        std::printf("FAILED: stale reads persist after %d recovery "
+                    "rounds\n", kMaxRecoveryRounds);
+        return 1;
+    }
+
+    // Post-heal steady state: throughput must recover, staleness must
+    // not reappear.
+    double qps_after = 0;
+    uint64_t stale_after = 0;
+    run_phase("post-heal", &qps_after, &stale_after);
+    if (stale_after != 0) {
+        std::printf("FAILED: %llu stale reads after convergence\n",
+                    static_cast<unsigned long long>(stale_after));
+        return 1;
+    }
+
+    uint64_t detections = 0, resubscribes = 0;
+    for (int c = 0; c < ccfg.compute_servers; ++c) {
+        const FaultStats& fs = cluster.compute(c).fault_stats();
+        detections += fs.gaps_detected + fs.base_restarts_detected;
+        resubscribes += fs.resubscribes;
+    }
+    double recovery_pct = 100.0 * qps_after / qps_before;
+    std::printf("\nfig_faults summary: seed=%llu recovery_rounds=%d "
+                "qps_before=%.0f qps_during=%.0f qps_after=%.0f "
+                "qps_recovery_pct=%.1f stale_during_partition=%llu "
+                "stale_after_convergence=%llu detections=%llu "
+                "resubscribes=%llu\n",
+                static_cast<unsigned long long>(seed), recovery_rounds,
+                qps_before, qps_during, qps_after, recovery_pct,
+                static_cast<unsigned long long>(stale_during),
+                static_cast<unsigned long long>(stale_after),
+                static_cast<unsigned long long>(detections),
+                static_cast<unsigned long long>(resubscribes));
+    return 0;
+}

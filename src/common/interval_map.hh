@@ -11,10 +11,12 @@
 #ifndef PEQUOD_COMMON_INTERVAL_MAP_HH
 #define PEQUOD_COMMON_INTERVAL_MAP_HH
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/str.hh"
 
@@ -50,6 +52,25 @@ class IntervalMap {
     template <typename F>
     void stab(Str key, F f) {
         stab_node(root_, key, f);
+    }
+
+    // Remove every stored interval overlapping [lo, hi) (empty hi ==
+    // +infinity), visiting each removed value first. This is the
+    // invalidation path (§10): a suspect source range tears down the
+    // updaters registered over it. Returns the number removed;
+    // O((hits + 1) log n) expected.
+    template <typename F>
+    size_t erase_overlapping(Str lo, Str hi, F f) {
+        std::vector<Node*> hits;
+        collect_overlapping(root_, lo, hi, hits);
+        for (Node* x : hits) {
+            f(x->value);
+            bool removed = false;
+            root_ = remove_node(root_, x, removed);
+            assert(removed);
+            --size_;
+        }
+        return hits.size();
     }
 
     size_t size() const {
@@ -155,6 +176,59 @@ class IntervalMap {
             stab_node(n->right, key, f);
         }
         // Else every lo in the right subtree is > key: nothing to visit.
+    }
+
+    static void collect_overlapping(Node* n, Str lo, Str hi,
+                                    std::vector<Node*>& out) {
+        // No interval below n can overlap once lo >= subtree max hi.
+        if (!n || !key_below(lo, n->max_hi))
+            return;
+        collect_overlapping(n->left, lo, hi, out);
+        if (hi.empty() || Str(n->lo) < hi) {
+            if (key_below(lo, n->hi))
+                out.push_back(n);
+            collect_overlapping(n->right, lo, hi, out);
+        }
+        // Else every lo in the right subtree is >= hi: nothing overlaps.
+    }
+
+    // Remove the specific node `x` (located by lo then pointer identity)
+    // by rotating it down to a leaf, preserving the heap property and
+    // the max_hi augmentation. Rotations can leave a node with a
+    // duplicate lo in either subtree of its twin, so an equal key must
+    // search both sides; `removed` short-circuits the second descent.
+    static Node* remove_node(Node* n, Node* x, bool& removed) {
+        if (!n)
+            return nullptr;
+        if (n == x) {
+            if (!n->left && !n->right) {
+                delete n;
+                removed = true;
+                return nullptr;
+            }
+            if (!n->left
+                || (n->right && n->right->priority > n->left->priority)) {
+                Node* r = rotate_left(n);
+                r->left = remove_node(r->left, x, removed);
+                update(r);
+                return r;
+            }
+            Node* l = rotate_right(n);
+            l->right = remove_node(l->right, x, removed);
+            update(l);
+            return l;
+        }
+        if (x->lo < n->lo) {
+            n->left = remove_node(n->left, x, removed);
+        } else if (n->lo < x->lo) {
+            n->right = remove_node(n->right, x, removed);
+        } else {
+            n->right = remove_node(n->right, x, removed);
+            if (!removed)
+                n->left = remove_node(n->left, x, removed);
+        }
+        update(n);
+        return n;
     }
 
     static void free_node(Node* n) {

@@ -1,14 +1,16 @@
 // Coalesced set of half-open string ranges [lo, hi), with an empty hi
 // meaning +infinity. Used for a join's materialized (valid) sink ranges
 // and for a compute server's subscribed source ranges: both need "is
-// [lo, hi) fully covered?" and "add [lo, hi), merging overlaps" and
-// nothing else.
+// [lo, hi) fully covered?", "add [lo, hi), merging overlaps", and — for
+// invalidation (§10) — "subtract [lo, hi), trimming or splitting what it
+// overlaps".
 #ifndef PEQUOD_COMMON_RANGESET_HH
 #define PEQUOD_COMMON_RANGESET_HH
 
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/str.hh"
 
@@ -47,6 +49,32 @@ class RangeSet {
         }
         ranges_.erase(first, last);
         ranges_.emplace(std::move(lo), std::move(hi));
+    }
+
+    // Remove [lo, hi) from the covered set: stored ranges it swallows
+    // disappear, edge overlaps are trimmed, and a stored range strictly
+    // containing it splits in two. Ranges merely adjacent to [lo, hi)
+    // are untouched (the bounds are exclusive at hi, inclusive at lo).
+    void subtract(Str lo, Str hi) {
+        if (!hi.empty() && !(lo < hi))
+            return;  // empty removal
+        auto it = ranges_.upper_bound(lo);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.empty() || Str(prev->second) > lo)
+                it = prev;
+        }
+        std::vector<std::pair<std::string, std::string>> keep;
+        while (it != ranges_.end() && (hi.empty() || Str(it->first) < hi)) {
+            if (Str(it->first) < lo)
+                keep.emplace_back(it->first, lo.str());
+            if (!hi.empty()
+                && (it->second.empty() || Str(it->second) > hi))
+                keep.emplace_back(hi.str(), it->second);
+            it = ranges_.erase(it);
+        }
+        for (auto& kv : keep)
+            ranges_.emplace(std::move(kv.first), std::move(kv.second));
     }
 
     bool empty() const {

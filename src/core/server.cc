@@ -236,7 +236,8 @@ void Server::stab(Table& t, Str key, const Entry& stored, bool inserted) {
         hits.push_back(idx);
     });
     for (uint32_t idx : hits)
-        apply_update(*updaters_[idx], key, stored, inserted);
+        if (Updater* u = updaters_[idx].get())  // torn-down slots are null
+            apply_update(*u, key, stored, inserted);
 }
 
 Entry* Server::write(Str key, Str value, WriteHint* hint) {
@@ -360,16 +361,9 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
     if (install_updaters) {
         // An updater is determined by its source and bindings (the range
         // derives from them); install each at most once.
-        std::string dedup(1, static_cast<char>(source_index));
-        for (int slot = 0; slot < kMaxSlots; ++slot) {
-            if (ss.has(slot)) {
-                dedup += '\1';
-                Str v = ss[slot];
-                dedup.append(v.data(), v.size());
-            }
-            dedup += '\0';
-        }
-        if (sink_table.sink().registered.insert(std::move(dedup)).second) {
+        if (sink_table.sink()
+                .registered.insert(updater_dedup_key(source_index, ss))
+                .second) {
             auto u = std::make_unique<Updater>(
                 Updater{&sink_table, source_index, OwnedSlots(ss),
                         SlotSet(), WriteHint()});
@@ -399,6 +393,69 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
                               install_updaters, emit);
                   }
               });
+}
+
+// Serialized (source index, bindings): the identity under which an
+// updater registers in Sink::registered, shared by installation
+// (execute) and teardown (invalidate_table) so both agree.
+std::string Server::updater_dedup_key(int source_index, const SlotSet& ss) {
+    std::string dedup(1, static_cast<char>(source_index));
+    for (int slot = 0; slot < kMaxSlots; ++slot) {
+        if (ss.has(slot)) {
+            dedup += '\1';
+            Str v = ss[slot];
+            dedup.append(v.data(), v.size());
+        }
+        dedup += '\0';
+    }
+    return dedup;
+}
+
+size_t Server::invalidate_range(Str lo, Str hi) {
+    ++stat_invalidations_;
+    size_t torn = invalidate_table(root_, lo, hi);
+    for (auto it = first_overlapping(lo);
+         it != tables_.end() && (hi.empty() || Str(it->first) < hi); ++it) {
+        Table& t = it->second;
+        Str mlo = lo < Str(t.prefix()) ? Str(t.prefix()) : lo;
+        Str mhi = min_bound(t.prefix_upper(), hi);
+        torn += invalidate_table(t, mlo, mhi);
+    }
+    return torn;
+}
+
+// One table's share of an invalidation: wipe the stored entries and any
+// sink validity over [lo, hi), then tear down the updaters registered
+// over source ranges inside it. Each torn updater's sink output range is
+// recursively invalidated — that is what cascades a suspect base range
+// through chained joins. Termination: join cycles are rejected at
+// add_join, and an updater is torn down at most once (its slot is nulled
+// the first time).
+size_t Server::invalidate_table(Table& t, Str lo, Str hi) {
+    t.invalidate_range(lo, hi);
+    if (t.updaters().empty())
+        return 0;
+    // Collect first: the recursion below may erase intervals from other
+    // tables' maps, but never re-enters this one mid-traversal.
+    std::vector<uint32_t> removed;
+    t.updaters().erase_overlapping(lo, hi, [&removed](const uint32_t& idx) {
+        removed.push_back(idx);
+    });
+    size_t torn = 0;
+    for (uint32_t idx : removed) {
+        std::unique_ptr<Updater> u = std::move(updaters_[idx]);
+        if (!u)
+            continue;  // already torn down via an overlapping range
+        ++torn;
+        Table::Sink& sk = u->sink_table->sink();
+        // Forget the registration so the next materialization re-installs
+        // maintenance for this (source, bindings).
+        sk.registered.erase(
+            updater_dedup_key(u->source_index, u->bound_view));
+        KeyRange out = sk.join.sink().containing_range(u->bound_view);
+        torn += invalidate_table(*u->sink_table, out.lo, out.hi);
+    }
+    return torn;
 }
 
 void Server::apply_update(Updater& u, Str key, const Entry& stored,

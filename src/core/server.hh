@@ -91,6 +91,14 @@ class Server {
         observer_ = std::move(observer);
     }
 
+    // Declare [lo, hi) suspect (§10): erase the cached entries, tear
+    // down every updater registered over a source range inside it, and
+    // shrink the valid ranges of the sinks those updaters maintained —
+    // cascading through chained joins — so the affected output
+    // re-materializes via scan instead of serving possibly-stale data.
+    // Returns the number of updaters torn down.
+    size_t invalidate_range(Str lo, Str hi);
+
     // Aggregated over the root table and every routed table.
     MemoryStats memory_stats() const;
 
@@ -103,6 +111,9 @@ class Server {
     }
     uint64_t eager_update_count() const {
         return stat_eager_updates_;
+    }
+    uint64_t invalidation_count() const {
+        return stat_invalidations_;
     }
     uint64_t materialization_count() const {
         return stat_materializations_;
@@ -149,8 +160,11 @@ class Server {
     // the directory node plus the Table object itself.
     static constexpr size_t kTableDirOverhead = 48 + sizeof(Table);
 
+    static std::string updater_dedup_key(int source_index,
+                                         const SlotSet& ss);
     Table& table_for(Str key);
     const Table& table_for(Str key) const;
+    size_t invalidate_table(Table& t, Str lo, Str hi);
     TableMap::iterator first_overlapping(Str lo);
     Table& make_table(const std::string& prefix);
     Table* route(Str key, WriteHint* hint);
@@ -178,6 +192,7 @@ class Server {
     uint64_t stat_eager_updates_ = 0;
     uint64_t stat_materializations_ = 0;
     uint64_t stat_source_rows_ = 0;
+    uint64_t stat_invalidations_ = 0;
 };
 
 }  // namespace pequod

@@ -78,6 +78,17 @@ class Table {
         sink_->join = std::move(join);
     }
 
+    // Declare [lo, hi) suspect (§10): erase the stored entries and, when
+    // this table is a join sink, shrink the valid set so the next scan
+    // re-materializes the range instead of serving what might be stale.
+    // The server layers updater teardown and chained-join cascade on top.
+    size_t invalidate_range(Str lo, Str hi) {
+        size_t erased = store_.erase_range(lo, hi);
+        if (sink_)
+            sink_->valid.subtract(lo, hi);
+        return erased;
+    }
+
     // Updaters whose registered source range lies in this table, keyed by
     // index into the server's updater vector. Only puts routed to this
     // table can affect those ranges, so the per-table map keeps the stab

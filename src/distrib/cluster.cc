@@ -84,13 +84,36 @@ BaseServer::BaseServer(Cluster& cluster) : Node(cluster) {
         engine_.set_subtable_components(prefix, 1);
 }
 
+void BaseServer::restart() {
+    // The source tables are durable; every subscriber relationship is
+    // not. The generation bump is what lets subscribers find out: the
+    // next frame they see from us (or the next heartbeat pong) carries a
+    // gen they have never met, and they invalidate and re-subscribe.
+    ++gen_;
+    subscriptions_.clear();
+    registered_.clear();
+    stab_scratch_.clear();
+    live_seq_.clear();
+    sub_epochs_.clear();
+}
+
+uint64_t& BaseServer::live_seq(int compute_id) {
+    uint64_t& seq = live_seq_[compute_id];
+    if (seq == 0)
+        seq = 1;
+    return seq;
+}
+
 void BaseServer::handle(int from, net::Message&& m) {
     switch (m.type) {
     case net::MsgType::kPut:
         handle_put(m.key, m.value);
         break;
     case net::MsgType::kSubscribe:
-        handle_subscribe(from, m.key, m.value);
+        handle_subscribe(from, m.key, m.value, m.epoch);
+        break;
+    case net::MsgType::kPing:
+        handle_ping(from);
         break;
     default:
         throw std::logic_error("base server: unexpected message type");
@@ -114,31 +137,60 @@ void BaseServer::handle_put(const std::string& key,
         stab_scratch_.end());
     net::Message notify;
     notify.type = net::MsgType::kNotify;
+    notify.gen = gen_;
     notify.items.emplace_back(key, value);
-    for (int compute_id : stab_scratch_)
+    for (int compute_id : stab_scratch_) {
+        // Stamp per link: the epoch the subscriber registered under and
+        // a consumed live sequence number, so the receiver can spot
+        // anything that goes missing in between.
+        notify.epoch = sub_epochs_[compute_id];
+        notify.seq = live_seq(compute_id)++;
         post(compute_id, notify);
+    }
 }
 
 void BaseServer::handle_subscribe(int from, const std::string& lo,
-                                  const std::string& hi) {
+                                  const std::string& hi, uint64_t epoch) {
+    uint64_t& seen = sub_epochs_[from];
+    if (epoch > seen)
+        seen = epoch;
     std::string dedup = std::to_string(from) + '\1' + lo + '\1' + hi;
     if (registered_.insert(std::move(dedup)).second)
         subscriptions_.insert(lo, hi, from);
     // Backfill the subscriber synchronously: its join execution is
-    // blocked on this range's current contents.
+    // blocked on this range's current contents. The frame carries the
+    // *next* live sequence as a resynchronization baseline without
+    // consuming one, so a backfill overtaking queued notifies cannot
+    // fabricate a gap.
     net::Message reply;
-    reply.type = net::MsgType::kNotify;
+    reply.type = net::MsgType::kBackfill;
+    reply.gen = gen_;
+    reply.epoch = seen;
+    reply.seq = live_seq(from);
     engine_.scan(lo, hi, [&reply](const std::string& k, const ValuePtr& v) {
         reply.items.emplace_back(k, *v);
     });
     send(from, reply);
 }
 
+void BaseServer::handle_ping(int from) {
+    net::Message pong;
+    pong.type = net::MsgType::kPong;
+    pong.gen = gen_;
+    pong.seq = live_seq(from);
+    send(from, pong);
+}
+
 // ---- ComputeServer ----------------------------------------------------------
 
 ComputeServer::ComputeServer(Cluster& cluster) : Node(cluster) {
+    init_engine();
+}
+
+void ComputeServer::init_engine() {
+    engine_ = std::make_unique<Server>();
     std::vector<std::string> sinks;
-    const std::string& specs = cluster.config().joins;
+    const std::string& specs = cluster_.config().joins;
     size_t pos = 0;
     while (pos < specs.size()) {
         size_t semi = specs.find(';', pos);
@@ -146,7 +198,7 @@ ComputeServer::ComputeServer(Cluster& cluster) : Node(cluster) {
             semi = specs.size();
         std::string spec = specs.substr(pos, semi - pos);
         if (spec.find_first_not_of(" \t\n") != std::string::npos) {
-            engine_.add_join(spec);
+            engine_->add_join(spec);
             Join parsed;
             parsed.parse(spec);
             sinks.push_back(parsed.sink().table_prefix());
@@ -155,13 +207,26 @@ ComputeServer::ComputeServer(Cluster& cluster) : Node(cluster) {
     }
     // Group both the cached source shards and the sink tables by their
     // first component (the per-user / per-poster trees of §4.1).
-    for (const std::string& prefix : cluster.config().base_tables)
-        engine_.set_subtable_components(prefix, 1);
+    for (const std::string& prefix : cluster_.config().base_tables)
+        engine_->set_subtable_components(prefix, 1);
     for (const std::string& prefix : sinks)
-        engine_.set_subtable_components(prefix, 1);
-    engine_.set_source_observer([this](Str lo, Str hi) {
+        engine_->set_subtable_components(prefix, 1);
+    engine_->set_source_observer([this](Str lo, Str hi) {
         will_scan_source(lo, hi);
     });
+}
+
+void ComputeServer::restart() {
+    // Come back blank: a fresh engine, no subscriptions, no link state.
+    // Timelines re-materialize on demand, and the epoch bump makes every
+    // in-flight frame stamped before the crash identifiably stale.
+    ++fstats_.restarts;
+    ++epoch_;
+    init_engine();
+    subscribed_ = RangeSet();
+    links_.clear();
+    pending_.clear();
+    backfill_ok_ = false;
 }
 
 void ComputeServer::handle(int from, net::Message&& m) {
@@ -169,23 +234,122 @@ void ComputeServer::handle(int from, net::Message&& m) {
     case net::MsgType::kScan: {
         net::Message reply;
         reply.type = net::MsgType::kScanReply;
-        engine_.scan(m.key, m.value,
-                     [&reply](const std::string& k, const ValuePtr& v) {
-                         reply.items.emplace_back(k, *v);
-                     });
+        engine_->scan(m.key, m.value,
+                      [&reply](const std::string& k, const ValuePtr& v) {
+                          reply.items.emplace_back(k, *v);
+                      });
         send(from, reply);
         break;
     }
     case net::MsgType::kNotify:
-        // Updates for subscribed ranges (backfill or live); the engine's
-        // eager maintenance folds them into every materialized timeline.
-        stats_.busy_seconds += cluster_.config().cpu_per_update
-            * static_cast<double>(m.items.size());
-        for (const auto& kv : m.items)
-            engine_.put(kv.first, kv.second);
+        handle_notify(from, std::move(m));
+        break;
+    case net::MsgType::kBackfill:
+        handle_backfill(from, std::move(m));
+        break;
+    case net::MsgType::kPong:
+        handle_pong(from, m);
         break;
     default:
         throw std::logic_error("compute server: unexpected message type");
+    }
+}
+
+void ComputeServer::apply_items(const net::Message& m) {
+    // Updates for subscribed ranges (backfill or live); the engine's
+    // eager maintenance folds them into every materialized timeline.
+    stats_.busy_seconds += cluster_.config().cpu_per_update
+        * static_cast<double>(m.items.size());
+    for (const auto& kv : m.items)
+        engine_->put(kv.first, kv.second);
+}
+
+void ComputeServer::handle_notify(int from, net::Message&& m) {
+    auto it = links_.find(from);
+    if (it == links_.end() || it->second.ranges.empty()) {
+        // A stale subscription at the base — e.g. we restarted blank and
+        // its subscriber list still names us. Nothing we advertise
+        // depends on this link, so the frame is noise.
+        ++fstats_.stray_drops;
+        return;
+    }
+    BaseLink& link = it->second;
+    if (m.gen != link.gen) {
+        // The base restarted since we subscribed: it has forgotten our
+        // ranges, so updates between its restart and now never reached
+        // us.
+        ++fstats_.base_restarts_detected;
+        invalidate_base(from);
+        return;
+    }
+    // No epoch check on live notifies: (gen, seq) is authoritative.
+    // After an invalidation the link adopts a fresh baseline at or above
+    // every previously issued seq, so frames from before the bump fall
+    // out as duplicates. Dropping an in-sequence frame for carrying an
+    // old epoch stamp would burn its seq and fake a gap on the next one.
+    if (m.seq < link.next_seq) {
+        // At-least-once delivery: duplicates and already-backfilled
+        // frames land here; applying them anyway would also be correct
+        // (puts are idempotent) but dropping keeps the counters honest.
+        ++fstats_.duplicate_drops;
+        return;
+    }
+    if (m.seq != link.next_seq) {
+        // Frames between next_seq and m.seq were lost; every range on
+        // this link may have missed updates.
+        ++fstats_.gaps_detected;
+        invalidate_base(from);
+        return;
+    }
+    ++link.next_seq;
+    apply_items(m);
+}
+
+void ComputeServer::handle_backfill(int from, net::Message&& m) {
+    if (m.epoch < epoch_) {
+        // The reply to a subscribe from a superseded epoch (its range
+        // has since been invalidated); the retry path owns it now.
+        ++fstats_.stale_epoch_drops;
+        return;
+    }
+    BaseLink& link = links_[from];
+    if (link.gen != 0 && m.gen != link.gen) {
+        // The base restarted under our feet; everything we hold from it
+        // predates the restart. Start the link over — invalidate_base
+        // re-subscribes, and those nested backfills adopt the new
+        // generation.
+        ++fstats_.base_restarts_detected;
+        invalidate_base(from);
+        return;
+    }
+    if (link.gen == 0) {
+        // Fresh (or just-reset) link: adopt the base's generation and
+        // the next-live-sequence baseline. An established link keeps its
+        // own expectation — a re-subscribe's backfill may overtake live
+        // notifies already queued behind it.
+        link.gen = m.gen;
+        link.next_seq = m.seq;
+    }
+    apply_items(m);
+    backfill_ok_ = true;
+}
+
+void ComputeServer::handle_pong(int from, const net::Message& m) {
+    auto it = links_.find(from);
+    if (it == links_.end() || it->second.ranges.empty())
+        return;
+    BaseLink& link = it->second;
+    if (m.gen != link.gen) {
+        ++fstats_.base_restarts_detected;
+        invalidate_base(from);
+        return;
+    }
+    if (m.seq > link.next_seq) {
+        // The base has issued notifies we never saw and has nothing more
+        // coming to expose the gap — the heartbeat is what catches a
+        // lost *tail*.
+        ++fstats_.gaps_detected;
+        invalidate_base(from);
     }
 }
 
@@ -197,59 +361,213 @@ void ComputeServer::will_scan_source(Str lo, Str hi) {
         return;  // a local table (e.g. a chained join's sink)
     if (subscribed_.covers(lo, hi))
         return;
-    subscribed_.add(lo.str(), hi.str());
-    net::Message m;
-    m.type = net::MsgType::kSubscribe;
-    m.key.assign(lo.data(), lo.size());
-    m.value.assign(hi.data(), hi.size());
-    // The backfill arrives synchronously (as kNotify) before this
-    // returns, re-entering the engine with the range's current contents.
+    if (overlaps_pending(lo, hi))
+        return;  // a failed subscription's backoff owns this range
+    subscribe_range(lo.str(), hi.str());
+}
+
+bool ComputeServer::overlaps_pending(Str lo, Str hi) const {
+    for (const PendingSub& p : pending_)
+        if ((hi.empty() || Str(p.lo) < hi)
+            && (p.hi.empty() || Str(p.hi) > lo))
+            return true;
+    return false;
+}
+
+void ComputeServer::subscribe_range(const std::string& lo,
+                                    const std::string& hi) {
     // A range confined to one table group has one home base server; a
     // broader range (e.g. an unbound source scanning its whole table) is
-    // sharded across every base, so subscribe at all of them.
+    // sharded across every base, so subscribe at all of them. The range
+    // only counts as covered once every leg succeeded; failed legs
+    // retry under backoff, and until they all land the range stays
+    // uncovered so a later scan knows it is incomplete.
     int home = cluster_.home_base_for_range(lo, hi);
+    bool all_ok;
     if (home >= 0) {
-        send(home, m);
+        all_ok = start_subscription(home, lo, hi);
     } else {
+        all_ok = true;
         for (int b = 0; b < cluster_.config().base_servers; ++b)
-            send(b, m);
+            all_ok = start_subscription(b, lo, hi) && all_ok;
     }
+    if (all_ok)
+        subscribed_.add(lo, hi);
+}
+
+bool ComputeServer::start_subscription(int base, const std::string& lo,
+                                       const std::string& hi) {
+    if (subscribe_at(base, lo, hi)) {
+        note_subscribed(base, lo, hi);
+        return true;
+    }
+    schedule_retry(base, lo, hi, 1);
+    return false;
+}
+
+bool ComputeServer::subscribe_at(int base, const std::string& lo,
+                                 const std::string& hi) {
+    uint64_t sent_epoch = epoch_;
+    net::Message m;
+    m.type = net::MsgType::kSubscribe;
+    m.key = lo;
+    m.value = hi;
+    m.epoch = epoch_;
+    // The backfill arrives synchronously (as kBackfill) before send()
+    // returns, re-entering the engine with the range's current contents.
+    // Success requires both that it actually arrived (a lost frame in
+    // either direction leaves backfill_ok_ false — the RPC "timed out")
+    // and that nothing invalidated this epoch mid-call.
+    backfill_ok_ = false;
+    send(base, m);
+    return backfill_ok_ && epoch_ == sent_epoch;
+}
+
+void ComputeServer::note_subscribed(int base, const std::string& lo,
+                                    const std::string& hi) {
+    auto& ranges = links_[base].ranges;
+    for (const auto& r : ranges)
+        if (r.first == lo && r.second == hi)
+            return;
+    ranges.emplace_back(lo, hi);
+}
+
+void ComputeServer::schedule_retry(int base, const std::string& lo,
+                                   const std::string& hi, int attempts) {
+    const Cluster::Config& cfg = cluster_.config();
+    if (attempts >= cfg.retry_budget) {
+        // Budget exhausted: fall back to on-demand. Drop whatever was
+        // built from partial data so nothing stale can be served, and
+        // let the next scan of the range start a fresh subscription
+        // cycle with a fresh budget.
+        ++fstats_.abandoned;
+        engine_->invalidate_range(lo, hi);
+        subscribed_.subtract(lo, hi);
+        return;
+    }
+    uint64_t backoff = cfg.backoff_base_ticks
+        << (attempts > 0 ? attempts - 1 : 0);
+    if (backoff > cfg.backoff_max_ticks || backoff == 0)
+        backoff = cfg.backoff_max_ticks;
+    pending_.push_back(PendingSub{lo, hi, base, attempts, now_ + backoff});
+}
+
+void ComputeServer::mark_covered_if_complete(const std::string& lo,
+                                             const std::string& hi) {
+    // An all-bases range is covered only when no leg is still pending.
+    for (const PendingSub& p : pending_)
+        if (p.lo == lo && p.hi == hi)
+            return;
+    subscribed_.add(lo, hi);
+}
+
+void ComputeServer::invalidate_base(int base) {
+    auto it = links_.find(base);
+    if (it == links_.end())
+        return;
+    BaseLink& link = it->second;
+    // New epoch: frames stamped before this moment are stale, and a
+    // subscribe already on the wire will refuse its own reply.
+    ++epoch_;
+    link.gen = 0;
+    link.next_seq = 0;
+    std::vector<std::pair<std::string, std::string>> ranges;
+    ranges.swap(link.ranges);
+    // Tear down first, then re-subscribe: the engine must not serve the
+    // suspect data while the re-subscriptions (which re-enter it with
+    // backfilled puts) are in flight.
+    for (const auto& r : ranges) {
+        ++fstats_.invalidated_ranges;
+        engine_->invalidate_range(r.first, r.second);
+        subscribed_.subtract(r.first, r.second);
+    }
+    for (const auto& r : ranges) {
+        ++fstats_.resubscribes;
+        subscribe_range(r.first, r.second);
+    }
+}
+
+void ComputeServer::tick(uint64_t now) {
+    NodeStats* prev = cluster_.meter().enter(&stats_);
+    now_ = now;
+    // Heartbeat every base we depend on: a pong with a changed
+    // generation or a higher next-sequence than ours means we missed
+    // something that nothing else would ever tell us about.
+    for (auto& entry : links_) {
+        if (entry.second.ranges.empty())
+            continue;
+        net::Message ping;
+        ping.type = net::MsgType::kPing;
+        ping.epoch = epoch_;
+        send(entry.first, ping);  // pong (if any) handled synchronously
+    }
+    // Retry pending subscriptions whose backoff expired, one at a time:
+    // a retry can itself reshape pending_ (nested invalidation), and
+    // mark_covered_if_complete must see the still-pending legs.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->next_try > now)
+                continue;
+            PendingSub p = std::move(*it);
+            pending_.erase(it);
+            progressed = true;
+            if (subscribed_.covers(p.lo, p.hi))
+                break;  // covered meanwhile by a broader subscription
+            ++fstats_.retries;
+            if (subscribe_at(p.base, p.lo, p.hi)) {
+                note_subscribed(p.base, p.lo, p.hi);
+                mark_covered_if_complete(p.lo, p.hi);
+            } else {
+                schedule_retry(p.base, p.lo, p.hi, p.attempts + 1);
+            }
+            break;
+        }
+    }
+    cluster_.meter().leave(prev);
 }
 
 // ---- Client -----------------------------------------------------------------
 
 Client::Client(Cluster& cluster) : Node(cluster) {}
 
-void Client::put(const std::string& key, const std::string& value) {
+bool Client::put(const std::string& key, const std::string& value) {
     NodeStats* prev = cluster_.meter().enter(&stats_);
     net::Message m;
     m.type = net::MsgType::kPut;
     m.key = key;
     m.value = value;
-    send(cluster_.home_base(key), m);
+    size_t bytes = send(cluster_.home_base(key), m);
     cluster_.meter().leave(prev);
+    return bytes != 0;
 }
 
-void Client::scan(int server_id, const std::string& lo,
+bool Client::scan(int server_id, const std::string& lo,
                   const std::string& hi, ScanResult* out) {
     NodeStats* prev = cluster_.meter().enter(&stats_);
     ScanResult discard;
     if (out)
         out->clear();
     pending_ = out ? out : &discard;
+    reply_ok_ = false;
     net::Message m;
     m.type = net::MsgType::kScan;
     m.key = lo;
     m.value = hi;
     send(server_id, m);
+    bool ok = reply_ok_;  // false when the request or the reply was lost
     pending_ = nullptr;
     cluster_.meter().leave(prev);
+    return ok;
 }
 
 void Client::handle(int from, net::Message&& m) {
     (void)from;
-    if (m.type == net::MsgType::kScanReply && pending_)
+    if (m.type == net::MsgType::kScanReply && pending_) {
         *pending_ = std::move(m.items);
+        reply_ok_ = true;
+    }
 }
 
 // ---- Cluster ----------------------------------------------------------------
@@ -266,19 +584,56 @@ Cluster::Cluster(const Config& config) : config_(config) {
     client_ = std::make_unique<Client>(*this);
 }
 
-void Cluster::put(const std::string& key, const std::string& value) {
-    client_->put(key, value);
+bool Cluster::put(const std::string& key, const std::string& value) {
+    return client_->put(key, value);
 }
 
 void Cluster::settle() {
     net_.drain();
 }
 
+void Cluster::tick() {
+    ++tick_;
+    for (auto& c : computes_)
+        if (!net_.crashed(c->id()))
+            c->tick(tick_);
+    net_.drain();
+}
+
+void Cluster::crash_base(int i) {
+    net_.set_crashed(base(i).id(), true);
+}
+
+void Cluster::restart_base(int i) {
+    bases_[static_cast<size_t>(i)]->restart();
+    net_.set_crashed(base(i).id(), false);
+}
+
+void Cluster::crash_compute(int i) {
+    net_.set_crashed(compute(i).id(), true);
+}
+
+void Cluster::restart_compute(int i) {
+    computes_[static_cast<size_t>(i)]->restart();
+    net_.set_crashed(compute(i).id(), false);
+}
+
+bool Cluster::base_crashed(int i) const {
+    return net_.crashed(i);
+}
+
+bool Cluster::compute_crashed(int i) const {
+    return net_.crashed(config_.base_servers + i);
+}
+
 ComputeServer& Cluster::compute_for(const std::string& affinity) {
-    size_t i = static_cast<size_t>(
+    return *computes_[static_cast<size_t>(compute_index_for(affinity))];
+}
+
+int Cluster::compute_index_for(const std::string& affinity) const {
+    return static_cast<int>(
         Str(affinity).hash()
         % static_cast<uint64_t>(config_.compute_servers));
-    return *computes_[i];
 }
 
 int Cluster::home_base(const std::string& key) const {

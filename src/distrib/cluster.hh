@@ -10,10 +10,23 @@
 // process-wide meter switched at every message boundary) plus a modeled
 // per-message/per-byte cost, and inter-server traffic is accounted
 // separately from client traffic so the subscription share is reportable.
+//
+// Failure awareness (DESIGN.md §10): notify delivery is at-least-once.
+// Each (base, compute) link carries a sequence number on live notifies;
+// backfills carry a resynchronization baseline; subscriptions carry the
+// compute's epoch; and every base stamps its generation. A compute
+// server drops duplicates and stale-epoch frames, and on a sequence
+// gap, a base generation change, or a heartbeat high-water mismatch it
+// invalidates every range it held from that base — shrinking the
+// engine's valid sets via Server::invalidate_range so nothing stale is
+// served — and re-subscribes. Failed subscriptions retry with bounded
+// exponential backoff under a retry budget, driven by Cluster::tick();
+// crashed compute servers restart blank and re-materialize on demand.
 #ifndef PEQUOD_DISTRIB_CLUSTER_HH
 #define PEQUOD_DISTRIB_CLUSTER_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -40,6 +53,20 @@ struct NodeStats {
     // inter-server traffic share.
     uint64_t server_bytes = 0;
     uint64_t messages = 0;  // frames handled
+};
+
+// What a compute server's failure detectors saw and did (§10).
+struct FaultStats {
+    uint64_t gaps_detected = 0;            // notify sequence discontinuities
+    uint64_t base_restarts_detected = 0;   // generation changes
+    uint64_t duplicate_drops = 0;          // already-applied notify frames
+    uint64_t stale_epoch_drops = 0;        // backfills from a superseded epoch
+    uint64_t stray_drops = 0;              // notifies on links we dropped
+    uint64_t invalidated_ranges = 0;
+    uint64_t resubscribes = 0;
+    uint64_t retries = 0;                  // backoff-driven retry attempts
+    uint64_t abandoned = 0;                // retry budget exhausted
+    uint64_t restarts = 0;                 // blank restarts after a crash
 };
 
 class Cluster;
@@ -70,7 +97,7 @@ class Node : public net::Endpoint {
 
   protected:
     virtual void handle(int from, net::Message&& m) = 0;
-    size_t send(int to, const net::Message& m);  // synchronous
+    size_t send(int to, const net::Message& m);  // synchronous; 0 == lost
     size_t post(int to, const net::Message& m);  // queued until settle()
     void charge(size_t bytes);
 
@@ -80,63 +107,141 @@ class Node : public net::Endpoint {
 };
 
 // Owns shards of the source tables. Absorbs all writes; pushes each to
-// the compute servers subscribed to a containing range.
+// the compute servers subscribed to a containing range, stamped with
+// this base's generation and the per-link notify sequence so receivers
+// can detect loss. Source tables are treated as durable across a crash;
+// subscription state is not — computes notice the generation change and
+// re-subscribe.
 class BaseServer : public Node {
   public:
     explicit BaseServer(Cluster& cluster);
     const Server& engine() const {
         return engine_;
     }
+    uint64_t generation() const {
+        return gen_;
+    }
+    // Simulated crash recovery: bump the generation and forget every
+    // subscriber; the durable source tables survive.
+    void restart();
 
   private:
     void handle(int from, net::Message&& m) override;
     void handle_put(const std::string& key, const std::string& value);
     void handle_subscribe(int from, const std::string& lo,
-                          const std::string& hi);
+                          const std::string& hi, uint64_t epoch);
+    void handle_ping(int from);
+    // The per-link live notify sequence, lazily started at 1.
+    uint64_t& live_seq(int compute_id);
 
     Server engine_;
     IntervalMap<int> subscriptions_;   // subscribed range -> compute id
     std::set<std::string> registered_; // dedup of (subscriber, lo, hi)
     std::vector<int> stab_scratch_;
+    uint64_t gen_ = 1;
+    std::map<int, uint64_t> live_seq_;   // next live notify seq per compute
+    std::map<int, uint64_t> sub_epochs_; // newest epoch per subscriber
 };
 
 // Executes the join for its share of users. Source data is a locally
 // cached copy kept fresh by subscriptions; the engine's source-scan
-// observer is the subscription trigger.
+// observer is the subscription trigger. Per-base link state implements
+// the §10 failure detectors: gap/restart detection invalidates and
+// re-subscribes, failed subscriptions back off under a retry budget,
+// and a blank restart re-materializes everything on demand.
 class ComputeServer : public Node {
   public:
     explicit ComputeServer(Cluster& cluster);
     const Server& engine() const {
-        return engine_;
+        return *engine_;
     }
     size_t subscribed_range_count() const {
         return subscribed_.size();
     }
+    uint64_t epoch() const {
+        return epoch_;
+    }
+    const FaultStats& fault_stats() const {
+        return fstats_;
+    }
+    size_t pending_retry_count() const {
+        return pending_.size();
+    }
+    // Heartbeat + retry driver; called by Cluster::tick() at quiescence.
+    void tick(uint64_t now);
+    // Crash recovery: start over with an empty engine and a fresh epoch;
+    // timelines re-materialize on demand. (The simulation keeps the
+    // epoch counter across the crash; a real node would persist a
+    // restart counter to the same effect.)
+    void restart();
 
   private:
-    void handle(int from, net::Message&& m) override;
-    void will_scan_source(Str lo, Str hi);
+    // Delivery state for one base server's notify stream.
+    struct BaseLink {
+        uint64_t gen = 0;       // base generation last seen; 0 == none
+        uint64_t next_seq = 0;  // next expected live notify sequence
+        // Ranges whose freshness depends on this base.
+        std::vector<std::pair<std::string, std::string>> ranges;
+    };
+    // A subscription attempt awaiting its backoff-delayed retry.
+    struct PendingSub {
+        std::string lo, hi;
+        int base;
+        int attempts;
+        uint64_t next_try;  // cluster tick
+    };
 
-    Server engine_;
+    void handle(int from, net::Message&& m) override;
+    void handle_notify(int from, net::Message&& m);
+    void handle_backfill(int from, net::Message&& m);
+    void handle_pong(int from, const net::Message& m);
+    void apply_items(const net::Message& m);
+    void will_scan_source(Str lo, Str hi);
+    void init_engine();
+    void subscribe_range(const std::string& lo, const std::string& hi);
+    bool start_subscription(int base, const std::string& lo,
+                            const std::string& hi);
+    bool subscribe_at(int base, const std::string& lo,
+                      const std::string& hi);
+    void schedule_retry(int base, const std::string& lo,
+                        const std::string& hi, int attempts);
+    void note_subscribed(int base, const std::string& lo,
+                         const std::string& hi);
+    void mark_covered_if_complete(const std::string& lo,
+                                  const std::string& hi);
+    bool overlaps_pending(Str lo, Str hi) const;
+    // Everything held from `base` is suspect: invalidate it in the
+    // engine, bump the epoch, and re-subscribe.
+    void invalidate_base(int base);
+
+    std::unique_ptr<Server> engine_;
     RangeSet subscribed_;
+    std::map<int, BaseLink> links_;
+    std::vector<PendingSub> pending_;
+    uint64_t epoch_ = 1;
+    uint64_t now_ = 0;          // last cluster tick observed
+    bool backfill_ok_ = false;  // set when a backfill is applied
+    FaultStats fstats_;
 };
 
 // The workload driver's endpoint: issues puts to base servers and scans
 // to compute servers, so client traffic is framed and counted like
-// everything else.
+// everything else. Returns whether the RPC completed — false means the
+// frame (or its reply) was lost to a fault and the caller should retry.
 class Client : public Node {
   public:
     explicit Client(Cluster& cluster);
-    void put(const std::string& key, const std::string& value);
+    bool put(const std::string& key, const std::string& value);
     // Scan [lo, hi) at the compute server `server_id`; fills `out` with
     // the returned entries when non-null.
-    void scan(int server_id, const std::string& lo, const std::string& hi,
+    bool scan(int server_id, const std::string& lo, const std::string& hi,
               ScanResult* out);
 
   private:
     void handle(int from, net::Message&& m) override;
 
     ScanResult* pending_ = nullptr;
+    bool reply_ok_ = false;
 };
 
 class Cluster {
@@ -161,14 +266,40 @@ class Cluster {
         // is the per-server cost that subscription duplication multiplies
         // as the compute tier grows (§5.5's sublinearity).
         double cpu_per_update = 10e-6;
+        // §10 retry policy: a failed subscription retries up to
+        // retry_budget times with exponential backoff (base << attempts,
+        // capped), measured in Cluster::tick() calls. On exhaustion the
+        // range falls back to on-demand subscription at the next scan.
+        int retry_budget = 8;
+        uint64_t backoff_base_ticks = 1;
+        uint64_t backoff_max_ticks = 16;
     };
 
     explicit Cluster(const Config& config);
 
     // Route a write to its home base server, through the client.
-    void put(const std::string& key, const std::string& value);
+    // False when the frame was lost to a fault (caller should retry).
+    bool put(const std::string& key, const std::string& value);
     // Deliver queued notifications until quiescence.
     void settle();
+    // One maintenance round (§10): every live compute server heartbeats
+    // its bases (detecting restarts and silently lost notify tails) and
+    // retries pending subscriptions whose backoff expired. Call at
+    // quiescence — typically right after settle().
+    void tick();
+    uint64_t tick_count() const {
+        return tick_;
+    }
+
+    // Fault-schedule controls for chaos tests and benches. A crashed
+    // server receives nothing; restart_base loses subscription state
+    // (durable tables survive), restart_compute comes back blank.
+    void crash_base(int i);
+    void restart_base(int i);
+    void crash_compute(int i);
+    void restart_compute(int i);
+    bool base_crashed(int i) const;
+    bool compute_crashed(int i) const;
 
     Client& client() {
         return *client_;
@@ -181,6 +312,8 @@ class Cluster {
     }
     // Per-user server affinity: the compute server owning `affinity`.
     ComputeServer& compute_for(const std::string& affinity);
+    // The index (not endpoint id) of the compute server for `affinity`.
+    int compute_index_for(const std::string& affinity) const;
     const net::Network& net() const {
         return net_;
     }
@@ -219,6 +352,7 @@ class Cluster {
     std::vector<std::unique_ptr<BaseServer>> bases_;
     std::vector<std::unique_ptr<ComputeServer>> computes_;
     std::unique_ptr<Client> client_;
+    uint64_t tick_ = 0;
 };
 
 }  // namespace distrib

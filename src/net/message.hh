@@ -1,9 +1,17 @@
-// Message frames for inter-server and client traffic (DESIGN.md §7).
+// Message frames for inter-server and client traffic (DESIGN.md §7, §10).
 // Every frame is varint-framed over net::Buffer: a varint type tag, then
 // length-prefixed strings (and a varint item count for batched frames).
 // The distribution layer routes these through net::Network, whose
 // message and byte counters are what the benches report as modeled
 // traffic; encode/decode is a genuine round-trip, not an estimate.
+//
+// Delivery metadata (§10): notify frames carry the sending base server's
+// generation (bumped on restart), the subscriber epoch they were stamped
+// under, and a per-(base, compute)-link sequence number, so a compute
+// server can drop duplicates, detect gaps, and notice a base restart.
+// Backfill frames are the synchronous replies to a subscribe; they carry
+// the *next* live sequence number as a resynchronization baseline rather
+// than consuming one themselves.
 #ifndef PEQUOD_NET_MESSAGE_HH
 #define PEQUOD_NET_MESSAGE_HH
 
@@ -22,16 +30,25 @@ enum class MsgType : uint8_t {
     kScan = 2,       // client -> compute: read a range
     kScanReply = 3,  // compute -> client: the range contents
     kSubscribe = 4,  // compute -> base: keep me fresh for a range
-    kNotify = 5,     // base -> compute: entries for a subscribed range
-                     // (a batch: the backfill reply, or one live put)
+    kNotify = 5,     // base -> compute: one live put for subscribed ranges
+    kBackfill = 6,   // base -> compute: a subscribed range's current
+                     // contents (the synchronous subscribe reply)
+    kPing = 7,       // compute -> base: liveness / high-water probe
+    kPong = 8,       // base -> compute: generation + next notify seq
 };
-constexpr int kMsgTypeCount = 6;  // index space; tag 0 is never sent
+constexpr int kMsgTypeCount = 9;  // index space; tag 0 is never sent
 
 struct Message {
     MsgType type = MsgType::kPut;
-    std::string key;    // kPut/: key; kScan/kSubscribe: range lo
+    std::string key;    // kPut: key; kScan/kSubscribe: range lo
     std::string value;  // kPut: value; kScan/kSubscribe: range hi
     std::vector<std::pair<std::string, std::string>> items;  // batched frames
+    // Delivery metadata (kNotify/kBackfill/kSubscribe/kPing/kPong; §10).
+    uint64_t gen = 0;    // base server generation (kNotify/kBackfill/kPong)
+    uint64_t epoch = 0;  // subscriber epoch (kSubscribe/kNotify/kBackfill/
+                         // kPing)
+    uint64_t seq = 0;    // per-link notify sequence (kNotify); the next
+                         // live sequence baseline (kBackfill/kPong)
 };
 
 inline void encode_message(Buffer& b, const Message& m) {
@@ -39,17 +56,38 @@ inline void encode_message(Buffer& b, const Message& m) {
     switch (m.type) {
     case MsgType::kPut:
     case MsgType::kScan:
-    case MsgType::kSubscribe:
         b.write_string(m.key);
         b.write_string(m.value);
         break;
+    case MsgType::kSubscribe:
+        b.write_string(m.key);
+        b.write_string(m.value);
+        b.write_varint(m.epoch);
+        break;
     case MsgType::kScanReply:
-    case MsgType::kNotify:
         b.write_varint(m.items.size());
         for (const auto& kv : m.items) {
             b.write_string(kv.first);
             b.write_string(kv.second);
         }
+        break;
+    case MsgType::kNotify:
+    case MsgType::kBackfill:
+        b.write_varint(m.gen);
+        b.write_varint(m.epoch);
+        b.write_varint(m.seq);
+        b.write_varint(m.items.size());
+        for (const auto& kv : m.items) {
+            b.write_string(kv.first);
+            b.write_string(kv.second);
+        }
+        break;
+    case MsgType::kPing:
+        b.write_varint(m.epoch);
+        break;
+    case MsgType::kPong:
+        b.write_varint(m.gen);
+        b.write_varint(m.seq);
         break;
     }
 }
@@ -66,15 +104,26 @@ inline bool decode_message(Buffer& b, Message& m) {
     m.key.clear();
     m.value.clear();
     m.items.clear();
+    m.gen = m.epoch = m.seq = 0;
     switch (m.type) {
     case MsgType::kPut:
     case MsgType::kScan:
-    case MsgType::kSubscribe:
         m.key = b.read_string();
         m.value = b.read_string();
         break;
+    case MsgType::kSubscribe:
+        m.key = b.read_string();
+        m.value = b.read_string();
+        m.epoch = b.read_varint();
+        break;
     case MsgType::kScanReply:
-    case MsgType::kNotify: {
+    case MsgType::kNotify:
+    case MsgType::kBackfill: {
+        if (m.type != MsgType::kScanReply) {
+            m.gen = b.read_varint();
+            m.epoch = b.read_varint();
+            m.seq = b.read_varint();
+        }
         uint64_t n = b.read_varint();
         // Each item takes at least two bytes (two length varints).
         if (n > b.remaining() / 2)
@@ -87,6 +136,13 @@ inline bool decode_message(Buffer& b, Message& m) {
         }
         break;
     }
+    case MsgType::kPing:
+        m.epoch = b.read_varint();
+        break;
+    case MsgType::kPong:
+        m.gen = b.read_varint();
+        m.seq = b.read_varint();
+        break;
     }
     return true;
 }

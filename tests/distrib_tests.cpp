@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/base.hh"
@@ -181,6 +182,195 @@ TEST(Cluster, AffinityIsDeterministic) {
     EXPECT_EQ(cluster.home_base("s|" + ukey(4) + "|" + ukey(9)),
               cluster.home_base("s|" + ukey(4) + "|" + ukey(11)))
         << "a table group must have one home base server";
+}
+
+// ---- failure handling (§10) -------------------------------------------------
+
+std::string post_key(uint32_t u, uint64_t ts) {
+    return "p|" + ukey(u) + "|" + pad_number(ts, 10);
+}
+
+// Follow 1 -> 2 with one post, materialize user 1's timeline, and return
+// the (base endpoint id, compute endpoint id) link carrying 2's posts.
+std::pair<int, int> warm_one_timeline(distrib::Cluster& cluster) {
+    cluster.put("s|" + ukey(1) + "|" + ukey(2), "1");
+    cluster.put(post_key(2, 1), "post 1");
+    cluster.settle();
+    EXPECT_EQ(cluster_timeline(cluster, 1).size(), 1u);
+    return {cluster.home_base(post_key(2, 1)),
+            cluster.compute_for(ukey(1)).id()};
+}
+
+TEST(ClusterFaults, DroppedNotifyGapDetectedOnNextNotify) {
+    distrib::Cluster cluster(small_config());
+    cluster.network().set_fault_seed(7);
+    auto [b, cid] = warm_one_timeline(cluster);
+    net::FaultConfig drop_all;
+    drop_all.drop = 1.0;
+    cluster.network().set_link_faults(b, cid, drop_all);
+    cluster.put(post_key(2, 2), "lost in transit");
+    cluster.settle();
+    // The loss is not yet detectable: nothing else arrived on the link.
+    EXPECT_EQ(cluster_timeline(cluster, 1).size(), 1u);
+    cluster.network().clear_link_faults();
+    cluster.put(post_key(2, 3), "exposes the gap");
+    cluster.settle();
+    const distrib::FaultStats& fs =
+        cluster.compute_for(ukey(1)).fault_stats();
+    EXPECT_GE(fs.gaps_detected, 1u);
+    EXPECT_GE(fs.resubscribes, 1u);
+    // The re-subscription backfilled the dropped post too.
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl[1].second, "lost in transit");
+}
+
+TEST(ClusterFaults, HeartbeatDetectsSilentlyLostTail) {
+    distrib::Cluster cluster(small_config());
+    cluster.network().set_fault_seed(8);
+    auto [b, cid] = warm_one_timeline(cluster);
+    net::FaultConfig drop_all;
+    drop_all.drop = 1.0;
+    cluster.network().set_link_faults(b, cid, drop_all);
+    cluster.put(post_key(2, 2), "lost tail");
+    cluster.settle();
+    cluster.network().clear_link_faults();
+    // No further traffic will ever expose the gap; the heartbeat must.
+    EXPECT_EQ(cluster_timeline(cluster, 1).size(), 1u);
+    cluster.tick();
+    const distrib::FaultStats& fs =
+        cluster.compute_for(ukey(1)).fault_stats();
+    EXPECT_GE(fs.gaps_detected, 1u);
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 2u);
+    EXPECT_EQ(tl[1].second, "lost tail");
+}
+
+TEST(ClusterFaults, DuplicatedNotifiesApplyOnce) {
+    distrib::Cluster cluster(small_config());
+    cluster.network().set_fault_seed(9);
+    warm_one_timeline(cluster);
+    net::FaultConfig dup_all;
+    dup_all.duplicate = 1.0;
+    cluster.network().set_default_faults(dup_all);
+    cluster.put(post_key(2, 2), "delivered at least once");
+    cluster.settle();
+    cluster.network().clear_link_faults();
+    const distrib::FaultStats& fs =
+        cluster.compute_for(ukey(1)).fault_stats();
+    EXPECT_GE(fs.duplicate_drops, 1u);
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 2u);  // no duplicated rows
+    EXPECT_EQ(tl[1].second, "delivered at least once");
+}
+
+TEST(ClusterFaults, BaseRestartDetectedByHeartbeat) {
+    distrib::Cluster cluster(small_config());
+    auto [b, cid] = warm_one_timeline(cluster);
+    (void)cid;
+    int bi = b;  // base endpoint ids equal their tier index
+    cluster.crash_base(bi);
+    EXPECT_TRUE(cluster.base_crashed(bi));
+    // Writes to the crashed base are lost for good (the client's retry
+    // decision, not ours).
+    EXPECT_FALSE(cluster.put(post_key(2, 2), "lost for good"));
+    cluster.restart_base(bi);
+    EXPECT_FALSE(cluster.base_crashed(bi));
+    // The restarted base kept its durable tables but forgot every
+    // subscriber: this put lands, and nobody is notified.
+    EXPECT_TRUE(cluster.put(post_key(2, 3), "after restart"));
+    cluster.settle();
+    EXPECT_EQ(cluster_timeline(cluster, 1).size(), 1u);  // stale
+    // The heartbeat sees the new generation and re-subscribes.
+    cluster.tick();
+    const distrib::FaultStats& fs =
+        cluster.compute_for(ukey(1)).fault_stats();
+    EXPECT_GE(fs.base_restarts_detected, 1u);
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 2u);  // post 1 (durable) + post 3; post 2 never landed
+    EXPECT_EQ(tl[1].second, "after restart");
+    EXPECT_GT(cluster.base(bi).generation(), 1u);
+}
+
+TEST(ClusterFaults, ComputeRestartRematerializesOnDemand) {
+    distrib::Cluster cluster(small_config());
+    warm_one_timeline(cluster);
+    int ci = cluster.compute_index_for(ukey(1));
+    cluster.crash_compute(ci);
+    EXPECT_TRUE(cluster.compute_crashed(ci));
+    // The base still accepts the write; the notify dies at the crashed
+    // endpoint.
+    EXPECT_TRUE(cluster.put(post_key(2, 2), "while compute down"));
+    cluster.settle();
+    cluster.restart_compute(ci);
+    EXPECT_FALSE(cluster.compute_crashed(ci));
+    EXPECT_EQ(cluster.compute(ci).subscribed_range_count(), 0u);
+    // First read after the blank restart re-subscribes and backfills
+    // everything, including the write made while down.
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 2u);
+    EXPECT_EQ(tl[1].second, "while compute down");
+    EXPECT_GE(cluster.compute(ci).fault_stats().restarts, 1u);
+    // Live updates flow again through the re-established subscriptions.
+    cluster.put(post_key(2, 3), "fresh after restart");
+    cluster.settle();
+    EXPECT_EQ(cluster_timeline(cluster, 1).size(), 3u);
+}
+
+TEST(ClusterFaults, PartitionedSubscribeRetriesUnderBackoffThenHeals) {
+    distrib::Cluster::Config ccfg = small_config();
+    ccfg.backoff_base_ticks = 1;
+    ccfg.backoff_max_ticks = 2;
+    distrib::Cluster cluster(ccfg);
+    cluster.put("s|" + ukey(1) + "|" + ukey(2), "1");
+    cluster.put(post_key(2, 1), "post 1");
+    cluster.settle();
+    // Partition user 1's compute server from both bases *before* the
+    // first read, so every subscription leg fails.
+    int cid = cluster.compute_for(ukey(1)).id();
+    int ci = cluster.compute_index_for(ukey(1));
+    cluster.network().set_partition({0, 1}, {cid});
+    EXPECT_TRUE(cluster_timeline(cluster, 1).empty());  // degraded
+    EXPECT_GE(cluster.compute(ci).pending_retry_count(), 1u);
+    cluster.tick();  // retries fire and fail; backoff grows
+    EXPECT_GE(cluster.compute(ci).fault_stats().retries, 1u);
+    EXPECT_GE(cluster.compute(ci).pending_retry_count(), 1u);
+    cluster.network().clear_partitions();
+    for (int i = 0; i < 8 && cluster.compute(ci).pending_retry_count();
+         ++i)
+        cluster.tick();
+    EXPECT_EQ(cluster.compute(ci).pending_retry_count(), 0u);
+    // The healed retries backfilled; no client rescan was needed to
+    // repair the materialized timeline.
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 1u);
+    EXPECT_EQ(tl[0].second, "post 1");
+}
+
+TEST(ClusterFaults, RetryBudgetExhaustionFallsBackToOnDemand) {
+    distrib::Cluster::Config ccfg = small_config();
+    ccfg.retry_budget = 3;
+    ccfg.backoff_base_ticks = 1;
+    ccfg.backoff_max_ticks = 1;
+    distrib::Cluster cluster(ccfg);
+    cluster.put("s|" + ukey(1) + "|" + ukey(2), "1");
+    cluster.put(post_key(2, 1), "post 1");
+    cluster.settle();
+    int cid = cluster.compute_for(ukey(1)).id();
+    int ci = cluster.compute_index_for(ukey(1));
+    cluster.network().set_partition({0, 1}, {cid});
+    EXPECT_TRUE(cluster_timeline(cluster, 1).empty());
+    for (int i = 0; i < 12; ++i)
+        cluster.tick();
+    const distrib::FaultStats& fs = cluster.compute(ci).fault_stats();
+    EXPECT_GE(fs.abandoned, 1u);
+    EXPECT_EQ(cluster.compute(ci).pending_retry_count(), 0u);
+    // Heal. The abandoned ranges were invalidated, so the next read
+    // starts a fresh subscription cycle and serves complete data.
+    cluster.network().clear_partitions();
+    distrib::ScanResult tl = cluster_timeline(cluster, 1);
+    ASSERT_EQ(tl.size(), 1u);
+    EXPECT_EQ(tl[0].second, "post 1");
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 // delivery modes and traffic accounting.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -104,6 +106,9 @@ TEST(Message, DecodeRejectsGarbage) {
     // A batch count larger than the remaining bytes cannot be honest.
     net::Buffer b3;
     b3.write_varint(static_cast<uint64_t>(net::MsgType::kNotify));
+    b3.write_varint(1);  // gen
+    b3.write_varint(1);  // epoch
+    b3.write_varint(1);  // seq
     b3.write_varint(1u << 20);
     EXPECT_FALSE(net::decode_message(b3, m));
 }
@@ -146,8 +151,8 @@ TEST(Network, CountsMessagesAndBytes) {
     m.key = "s|ann|";
     m.value = "s|ann}";
     size_t bytes = net.send(aid, bid, m);
-    // Tag byte plus two length-prefixed strings.
-    EXPECT_EQ(bytes, 1 + 1 + m.key.size() + 1 + m.value.size());
+    // Tag byte, two length-prefixed strings, and the epoch varint.
+    EXPECT_EQ(bytes, 1 + 1 + m.key.size() + 1 + m.value.size() + 1);
     EXPECT_EQ(net.stats().messages, 1u);
     EXPECT_EQ(net.stats().bytes, bytes);
     EXPECT_EQ(net.stats().messages_by_type[static_cast<int>(
@@ -156,6 +161,172 @@ TEST(Network, CountsMessagesAndBytes) {
     net.post(aid, bid, m);
     EXPECT_EQ(net.stats().messages, 2u);  // counted at send time
     EXPECT_EQ(net.stats().bytes, 2 * bytes);
+}
+
+net::Message put_msg(const std::string& key, const std::string& value) {
+    net::Message m;
+    m.type = net::MsgType::kPut;
+    m.key = key;
+    m.value = value;
+    return m;
+}
+
+TEST(NetworkFaults, DropLosesFramesAndSendReturnsZero) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::FaultConfig fc;
+    fc.drop = 1.0;
+    net.set_fault_seed(1);
+    net.set_default_faults(fc);
+    EXPECT_EQ(net.send(aid, bid, put_msg("k", "v")), 0u);
+    net.post(aid, bid, put_msg("k2", "v"));
+    net.drain();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(net.stats().frames_dropped, 2u);
+    // Counted as offered traffic: the sender paid for the bytes.
+    EXPECT_EQ(net.stats().messages, 2u);
+    net.clear_link_faults();
+    EXPECT_GT(net.send(aid, bid, put_msg("k3", "v")), 0u);
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].second.key, "k3");
+}
+
+TEST(NetworkFaults, DuplicateDeliversTwiceOnBothPaths) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::FaultConfig fc;
+    fc.duplicate = 1.0;
+    net.set_fault_seed(2);
+    net.set_link_faults(aid, bid, fc);
+    net.send(aid, bid, put_msg("sync", "v"));
+    EXPECT_EQ(b.received.size(), 2u);
+    net.post(aid, bid, put_msg("queued", "v"));
+    net.drain();
+    EXPECT_EQ(b.received.size(), 4u);
+    EXPECT_EQ(net.stats().frames_duplicated, 2u);
+    // The reverse link is unconfigured: no duplication.
+    net.send(bid, aid, put_msg("back", "v"));
+    EXPECT_EQ(a.received.size(), 1u);
+}
+
+TEST(NetworkFaults, DelayHoldsFramesAcrossRoundsButDeliversAll) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::FaultConfig fc;
+    fc.delay = 0.5;
+    fc.max_delay_rounds = 3;
+    net.set_fault_seed(3);
+    net.set_default_faults(fc);
+    const int kFrames = 16;
+    for (int i = 0; i < kFrames; ++i)
+        net.post(aid, bid, put_msg("k" + std::to_string(i), "v"));
+    net.drain();
+    // Nothing is lost, some frames were held back, and at least one
+    // held frame was overtaken by a later one (reordering).
+    ASSERT_EQ(b.received.size(), static_cast<size_t>(kFrames));
+    EXPECT_GT(net.stats().frames_delayed, 0u);
+    std::vector<std::string> order;
+    for (const auto& [from, m] : b.received)
+        order.push_back(m.key);
+    std::vector<std::string> sent;
+    for (int i = 0; i < kFrames; ++i)
+        sent.push_back("k" + std::to_string(i));
+    EXPECT_NE(order, sent);
+}
+
+TEST(NetworkFaults, PartitionSeversBothDirectionsUntilCleared) {
+    net::Network net;
+    Recorder a, b, c;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    int cid = net.add_endpoint(&c);
+    // Queued before the partition, severed at delivery time.
+    net.post(aid, bid, put_msg("queued", "v"));
+    net.set_partition({aid}, {bid});
+    EXPECT_EQ(net.send(aid, bid, put_msg("fwd", "v")), 0u);
+    EXPECT_EQ(net.send(bid, aid, put_msg("rev", "v")), 0u);
+    net.drain();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(net.stats().partition_drops, 3u);
+    // Third parties are unaffected.
+    EXPECT_GT(net.send(aid, cid, put_msg("side", "v")), 0u);
+    EXPECT_EQ(c.received.size(), 1u);
+    net.clear_partitions();
+    EXPECT_GT(net.send(aid, bid, put_msg("healed", "v")), 0u);
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].second.key, "healed");
+}
+
+TEST(NetworkFaults, CrashedEndpointSendsAndReceivesNothing) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net.post(aid, bid, put_msg("inflight", "v"));
+    net.set_crashed(bid, true);
+    EXPECT_TRUE(net.crashed(bid));
+    EXPECT_EQ(net.send(aid, bid, put_msg("to-crashed", "v")), 0u);
+    EXPECT_EQ(net.send(bid, aid, put_msg("from-crashed", "v")), 0u);
+    net.drain();  // the queued frame is severed too
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_TRUE(a.received.empty());
+    EXPECT_EQ(net.stats().crash_drops, 3u);
+    net.set_crashed(bid, false);
+    EXPECT_GT(net.send(aid, bid, put_msg("back-up", "v")), 0u);
+    EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkFaults, SameSeedSameSchedule) {
+    auto run = [](uint64_t seed) {
+        net::Network net;
+        Recorder a, b;
+        int aid = net.add_endpoint(&a);
+        int bid = net.add_endpoint(&b);
+        net::FaultConfig fc;
+        fc.drop = 0.3;
+        fc.duplicate = 0.2;
+        fc.delay = 0.3;
+        net.set_fault_seed(seed);
+        net.set_default_faults(fc);
+        for (int i = 0; i < 50; ++i)
+            net.post(aid, bid, put_msg("k" + std::to_string(i), "v"));
+        net.drain();
+        std::vector<std::string> order;
+        for (const auto& [from, m] : b.received)
+            order.push_back(m.key);
+        return std::make_tuple(order, net.stats().frames_dropped,
+                               net.stats().frames_duplicated,
+                               net.stats().frames_delayed);
+    };
+    EXPECT_EQ(run(99), run(99));
+    EXPECT_NE(std::get<0>(run(99)), std::get<0>(run(100)));
+}
+
+TEST(NetworkFaults, UndecodableFrameCountedNotThrown) {
+    net::Network net;
+    Recorder a, b;
+    int aid = net.add_endpoint(&a);
+    int bid = net.add_endpoint(&b);
+    net::Buffer garbage;
+    garbage.write_varint(99);  // unknown tag
+    net.deliver_raw(aid, bid, std::move(garbage));
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(net.stats().decode_failures, 1u);
+    // A valid frame still flows afterwards.
+    net.send(aid, bid, put_msg("ok", "v"));
+    EXPECT_EQ(b.received.size(), 1u);
+    // Strict mode restores the throw for debugging runs.
+    net.set_strict_decode(true);
+    net::Buffer garbage2;
+    garbage2.write_varint(99);
+    EXPECT_THROW(net.deliver_raw(aid, bid, std::move(garbage2)),
+                 std::runtime_error);
 }
 
 }  // namespace

@@ -314,6 +314,168 @@ TEST(RangeSet, CoversAndCoalesces) {
     EXPECT_TRUE(rs.covers("a", ""));
 }
 
+TEST(RangeSet, SubtractTrimsSplitsAndSwallows) {
+    RangeSet rs;
+    rs.add("b", "f");
+    // Subtracting the middle splits the range in two.
+    rs.subtract("c", "d");
+    EXPECT_EQ(rs.size(), 2u);
+    EXPECT_TRUE(rs.covers("b", "c"));
+    EXPECT_TRUE(rs.covers("d", "f"));
+    EXPECT_FALSE(rs.covers("c", "d"));
+    EXPECT_FALSE(rs.covers("b", "f"));
+    // Partial overlap trims each edge without touching the remainder.
+    rs.subtract("a", "bb");
+    EXPECT_FALSE(rs.covers("b", "bb"));
+    EXPECT_TRUE(rs.covers("bb", "c"));
+    rs.subtract("e", "g");
+    EXPECT_TRUE(rs.covers("d", "e"));
+    EXPECT_FALSE(rs.covers("e", "f"));
+    // Subtracting the exact stored range removes it entirely.
+    rs.subtract("bb", "c");
+    EXPECT_FALSE(rs.covers("bb", "c"));
+    rs.subtract("d", "e");
+    EXPECT_TRUE(rs.empty());
+}
+
+TEST(RangeSet, SubtractEdgesAreHalfOpen) {
+    RangeSet rs;
+    rs.add("b", "d");
+    rs.add("e", "g");
+    // [d, e) touches both stored ranges only at their bounds: no change.
+    rs.subtract("d", "e");
+    EXPECT_EQ(rs.size(), 2u);
+    EXPECT_TRUE(rs.covers("b", "d"));
+    EXPECT_TRUE(rs.covers("e", "g"));
+    // An empty removal is a no-op.
+    rs.subtract("c", "c");
+    rs.subtract("d", "c");
+    EXPECT_TRUE(rs.covers("b", "d"));
+    // Subtract-to-infinity clips everything from lo up.
+    rs.subtract("c", "");
+    EXPECT_TRUE(rs.covers("b", "c"));
+    EXPECT_FALSE(rs.covers("e", "g"));
+    EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST(RangeSet, SubtractFromInfiniteRange) {
+    RangeSet rs;
+    rs.add("m", "");  // +infinity
+    rs.subtract("p", "q");
+    EXPECT_TRUE(rs.covers("m", "p"));
+    EXPECT_FALSE(rs.covers("p", "q"));
+    EXPECT_TRUE(rs.covers("q", ""));  // the upper piece stays infinite
+    rs.subtract("q", "");
+    EXPECT_TRUE(rs.covers("m", "p"));
+    EXPECT_FALSE(rs.covers("q", ""));
+    EXPECT_EQ(rs.size(), 1u);
+}
+
+TEST(RangeSet, SubtractMatchesBruteForce) {
+    // Model the set as per-integer membership over a small universe and
+    // check add/subtract against it, including infinite upper bounds.
+    Rng rng(42);
+    RangeSet rs;
+    std::vector<bool> member(201, false);  // index 200 == "infinity band"
+    auto key = [](int i) { return pad_number(i, 3); };
+    for (int step = 0; step < 400; ++step) {
+        int a = static_cast<int>(rng.below(200));
+        int b = static_cast<int>(rng.below(201));
+        bool infinite = b == 200;
+        std::string lo = key(a);
+        std::string hi = infinite ? std::string() : key(b);
+        if (!infinite && b <= a)
+            std::swap(a, b), std::swap(lo, hi);
+        if (rng.below(2)) {
+            rs.add(lo, hi);
+            for (int i = a; i < (infinite ? 201 : b); ++i)
+                member[static_cast<size_t>(i)] = true;
+        } else {
+            rs.subtract(lo, hi);
+            for (int i = a; i < (infinite ? 201 : b); ++i)
+                member[static_cast<size_t>(i)] = false;
+        }
+        for (int i = 0; i < 200; ++i) {
+            bool want = member[static_cast<size_t>(i)];
+            ASSERT_EQ(rs.covers(key(i), key(i + 1)), want)
+                << "step " << step << " unit " << i;
+        }
+        ASSERT_EQ(rs.covers(key(200), ""), member[200]) << "step " << step;
+    }
+}
+
+TEST(IntervalMap, EraseOverlapping) {
+    IntervalMap<int> map;
+    map.insert("b", "d", 1);
+    map.insert("c", "f", 2);
+    map.insert("f", "h", 3);
+    map.insert("a", "", 4);  // infinite
+    std::vector<int> removed;
+    auto grab = [&](const int& v) { removed.push_back(v); };
+    // [d, e) overlaps 2 and 4 only: 1 ends at d (exclusive), 3 starts
+    // at f.
+    EXPECT_EQ(map.erase_overlapping("d", "e", grab), 2u);
+    std::sort(removed.begin(), removed.end());
+    EXPECT_EQ(removed, (std::vector<int>{2, 4}));
+    EXPECT_EQ(map.size(), 2u);
+    // The survivors still stab correctly.
+    removed.clear();
+    map.stab("c", grab);
+    EXPECT_EQ(removed, (std::vector<int>{1}));
+    removed.clear();
+    // Erase-to-infinity clears the rest.
+    EXPECT_EQ(map.erase_overlapping("a", "", grab), 2u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.erase_overlapping("a", "", grab), 0u);
+}
+
+TEST(IntervalMap, EraseOverlappingMatchesBruteForce) {
+    IntervalMap<int> map;
+    std::map<int, std::pair<std::string, std::string>> intervals;
+    Rng rng(11);
+    int next_id = 0;
+    for (int round = 0; round < 60; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            std::string lo = "k|" + pad_number(rng.below(300), 4);
+            std::string hi = rng.below(10) == 0
+                ? std::string()
+                : "k|" + pad_number(rng.below(300) + 300, 4);
+            map.insert(lo, hi, next_id);
+            intervals.emplace(next_id, std::make_pair(lo, hi));
+            ++next_id;
+        }
+        std::string elo = "k|" + pad_number(rng.below(600), 4);
+        std::string ehi = rng.below(10) == 0
+            ? std::string()
+            : "k|" + pad_number(rng.below(600), 4);
+        std::vector<int> got;
+        map.erase_overlapping(elo, ehi,
+                              [&](const int& v) { got.push_back(v); });
+        std::vector<int> want;
+        for (const auto& [id, r] : intervals) {
+            bool below_hi = ehi.empty() || r.first < ehi;
+            bool above_lo = r.second.empty() || r.second > elo;
+            if (below_hi && above_lo)
+                want.push_back(id);
+        }
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, want) << "round " << round;
+        for (int id : want)
+            intervals.erase(id);
+        ASSERT_EQ(map.size(), intervals.size());
+        // Survivors must still stab exactly like the model.
+        std::string probe = "k|" + pad_number(rng.below(600), 4);
+        std::vector<int> stabbed;
+        map.stab(probe, [&](const int& v) { stabbed.push_back(v); });
+        std::vector<int> expect;
+        for (const auto& [id, r] : intervals)
+            if (r.first <= probe && (r.second.empty() || probe < r.second))
+                expect.push_back(id);
+        std::sort(stabbed.begin(), stabbed.end());
+        ASSERT_EQ(stabbed, expect) << "round " << round;
+    }
+}
+
 std::vector<std::string> scan_keys(Store& store, const std::string& lo,
                                    const std::string& hi) {
     std::vector<std::string> keys;
@@ -737,6 +899,99 @@ TEST(Server, RematerializationDoesNotDuplicateUpdaters) {
     // One eager sink write, not one per duplicate updater.
     EXPECT_EQ(server.eager_update_count(), eager_before + 1);
     EXPECT_EQ(timeline(server, "ann").size(), 2u);
+}
+
+TEST(Server, InvalidateSinkRangeRematerializes) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    auto before = timeline(server, "ann");
+    ASSERT_EQ(before.size(), 1u);
+    EXPECT_EQ(server.materialization_count(), 1u);
+    // Declaring the sink range suspect erases the materialized rows and
+    // shrinks the valid set; the sources are untouched, so the next scan
+    // rebuilds the identical output.
+    server.invalidate_range("t|ann|", "t|ann}");
+    EXPECT_EQ(server.invalidation_count(), 1u);
+    EXPECT_EQ(timeline(server, "ann"), before);
+    EXPECT_EQ(server.materialization_count(), 2u);
+    // Maintenance still works after rematerialization — and without
+    // duplicated updaters (one eager write per put).
+    uint64_t eager_before = server.eager_update_count();
+    server.put("p|bob|0000000002", "two");
+    EXPECT_EQ(server.eager_update_count(), eager_before + 1);
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+    EXPECT_EQ(server.materialization_count(), 2u);
+}
+
+TEST(Server, InvalidateSourceTearsDownUpdaters) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    ASSERT_EQ(timeline(server, "ann").size(), 1u);
+    // Invalidating bob's posts drops the cached copies, tears down the
+    // updater registered over them, and marks the timeline rows built
+    // from them suspect: nothing stale may be served.
+    size_t torn = server.invalidate_range("p|bob|", "p|bob}");
+    EXPECT_GE(torn, 1u);
+    EXPECT_TRUE(timeline(server, "ann").empty());
+    // Re-delivering the source data re-registers maintenance: the put
+    // lands in the re-materialized (currently empty) valid range.
+    server.put("p|bob|0000000001", "one again");
+    EXPECT_EQ(timeline(server, "ann"),
+              (std::vector<std::string>{"t|ann|0000000001|bob"}));
+    uint64_t eager_before = server.eager_update_count();
+    server.put("p|bob|0000000002", "two");
+    EXPECT_EQ(server.eager_update_count(), eager_before + 1);
+    EXPECT_EQ(timeline(server, "ann").size(), 2u);
+}
+
+TEST(Server, InvalidateSourceCascadesThroughChainedJoins) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.add_join("z|<u>|<ts:10>|<p> = copy t|<u>|<ts:10>|<p>");
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    std::vector<std::string> keys;
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    ASSERT_EQ(keys, (std::vector<std::string>{"z|ann|0000000001|bob"}));
+    // Invalidating the *base* source must cascade: p|bob| feeds t|ann|,
+    // whose rows feed z|ann| — both derived layers become suspect.
+    server.invalidate_range("p|bob|", "p|bob}");
+    keys.clear();
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    EXPECT_TRUE(keys.empty());
+    EXPECT_TRUE(timeline(server, "ann").empty());
+    // Re-delivery flows back through the whole chain.
+    server.put("p|bob|0000000001", "one again");
+    server.put("p|bob|0000000002", "two");
+    keys.clear();
+    server.scan("z|ann|", "z|ann}",
+                [&](const std::string& k, const ValuePtr& v) {
+                    keys.push_back(k + "=" + *v);
+                });
+    EXPECT_EQ(keys, (std::vector<std::string>{
+                        "z|ann|0000000001|bob=one again",
+                        "z|ann|0000000002|bob=two"}));
+}
+
+TEST(Server, InvalidateUnmaterializedRangeIsHarmless) {
+    Server server;
+    server.add_join(kTimelineJoin);
+    server.put("s|ann|bob", "1");
+    server.put("p|bob|0000000001", "one");
+    // No scan has happened: nothing is materialized, no updaters exist.
+    EXPECT_EQ(server.invalidate_range("t|", "t}"), 0u);
+    EXPECT_EQ(server.invalidate_range("p|eve|", "p|eve}"), 0u);
+    EXPECT_EQ(timeline(server, "ann").size(), 1u);
 }
 
 TEST(Server, ScanSpanningPullJoinThrows) {

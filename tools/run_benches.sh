@@ -11,7 +11,7 @@
 #
 # Smoke parameters (CI-sized; the paper-scale runs are documented in
 # DESIGN.md §9) can be overridden with FIG7_ARGS / FIG9_ARGS /
-# SHARING_ARGS, or skipped entirely with SKIP_FIGS=1.
+# SHARING_ARGS / FAULTS_ARGS, or skipped entirely with SKIP_FIGS=1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +22,7 @@ BENCH_DIR=$(dirname "$BIN")
 FIG7_ARGS=${FIG7_ARGS:-"400 12"}
 FIG9_ARGS=${FIG9_ARGS:-"3000"}
 SHARING_ARGS=${SHARING_ARGS:-"400 10"}
+FAULTS_ARGS=${FAULTS_ARGS:-"400 4 --seed 1"}
 
 if [ ! -x "$BIN" ]; then
     echo "error: benchmark binary '$BIN' not found (build with cmake first)" >&2
@@ -32,7 +33,8 @@ RAW=$(mktemp)
 FIG7_RAW=$(mktemp)
 FIG9_RAW=$(mktemp)
 SHARING_RAW=$(mktemp)
-trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW"' EXIT
+FAULTS_RAW=$(mktemp)
+trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" "$FAULTS_RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
 
 if [ "${SKIP_FIGS:-0}" != "1" ]; then
@@ -42,14 +44,18 @@ if [ "${SKIP_FIGS:-0}" != "1" ]; then
         && "$BENCH_DIR/fig9_interleaved" $FIG9_ARGS > "$FIG9_RAW"
     [ -x "$BENCH_DIR/ablation_value_sharing" ] \
         && "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
+    [ -x "$BENCH_DIR/fig_faults" ] \
+        && "$BENCH_DIR/fig_faults" $FAULTS_ARGS > "$FAULTS_RAW"
 fi
 
-python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" <<'EOF'
+python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" \
+    "$FAULTS_RAW" <<'EOF'
 import json
 import re
 import sys
 
-raw_path, out_path, fig7_path, fig9_path, sharing_path = sys.argv[1:6]
+(raw_path, out_path, fig7_path, fig9_path, sharing_path,
+ faults_path) = sys.argv[1:7]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -95,6 +101,20 @@ for line in open(sharing_path):
     m = re.match(r"^memory saved by value sharing: (\d+\.\d+)x", line)
     if m:
         figures["value_sharing_memory_factor"] = float(m.group(1))
+
+# §10: the fig_faults summary line carries partition-recovery metrics.
+for line in open(faults_path):
+    m = re.match(
+        r"^fig_faults summary: .*recovery_rounds=(-?\d+) .*"
+        r"qps_recovery_pct=(\d+\.\d+) stale_during_partition=(\d+) "
+        r"stale_after_convergence=(\d+)", line)
+    if m:
+        figures["fig_faults_recovery"] = {
+            "recovery_rounds": int(m.group(1)),
+            "qps_recovery_pct": float(m.group(2)),
+            "stale_during_partition": int(m.group(3)),
+            "stale_after_convergence": int(m.group(4)),
+        }
 
 out = {
     "context": {
