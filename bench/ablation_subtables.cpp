@@ -42,10 +42,13 @@ Result run(bool subtables, uint32_t users, int ops) {
     // Everyone follows a handful of posters; materialize all timelines.
     for (uint32_t u = 0; u < users; ++u)
         for (int k = 0; k < 8; ++k)
-            s.put("s|" + ukey(u) + "|" + ukey(rng.below(users)), "1");
+            s.put("s|" + ukey(u) + "|"
+                      + ukey(static_cast<uint32_t>(rng.below(users))),
+                  "1");
     uint64_t now = 1;
     for (uint32_t i = 0; i < users * 4; ++i)
-        s.put("p|" + ukey(rng.below(users)) + "|" + pad_number(now++, 10),
+        s.put("p|" + ukey(static_cast<uint32_t>(rng.below(users))) + "|"
+                  + pad_number(now++, 10),
               "tweet");
     for (uint32_t u = 0; u < users; ++u) {
         std::string lo = "t|" + ukey(u) + "|";

@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
                 ++checks;
                 if (rng.below(10) == 0)
                     cluster.put("s|" + ukey(u) + "|"
-                                    + ukey(rng.below(gcfg.users)),
+                                    + ukey(static_cast<uint32_t>(
+                                          rng.below(gcfg.users))),
                                 "1");
                 if (rng.below(100) == 0) {
                     uint32_t poster = graph.sample_poster(rng);

@@ -132,8 +132,8 @@ class TwipDriver {
             std::vector<uint32_t> flw;
             backend_.scan("r|" + user_id(p) + "|",
                           prefix_successor("r|" + user_id(p) + "|"),
-                          [&flw](Str key, Str) {
-                              flw.push_back(trailing_user(key));
+                          [&flw](Str fkey, Str) {
+                              flw.push_back(trailing_user(fkey));
                           });
             for (uint32_t f : flw)
                 backend_.put("t|" + user_id(f) + "|"

@@ -15,10 +15,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/str.hh"
+#include "common/validate.hh"
 
 namespace pequod {
 
@@ -35,12 +37,13 @@ class IntervalMap {
     // Insert [lo, hi) carrying `value`. Empty intervals (hi <= lo) are
     // stored but can never be stabbed. An empty `hi` means +infinity.
     void insert(std::string lo, std::string hi, T value) {
-        Node* x = new Node{std::move(lo), std::move(hi), std::string(),
+        Node* x = new Node{std::move(lo), std::move(hi), {},
                            std::move(value), next_priority(), nullptr,
                            nullptr};
         x->max_hi = x->hi;
         root_ = insert_node(root_, x);
         ++size_;
+        PQ_AUTOVALIDATE(verify());
     }
 
     // Visit the value of every interval with lo <= key < hi. Takes a Str
@@ -70,7 +73,66 @@ class IntervalMap {
             assert(removed);
             --size_;
         }
+        PQ_AUTOVALIDATE(verify());
         return hits.size();
+    }
+
+    // Visit every stored interval in lo order: f(lo, hi, value). Used by
+    // the §11 validators to reconcile the map against external state.
+    template <typename F>
+    void for_each(F f) const {
+        for_each_node(root_, f);
+    }
+
+    // Re-derive the treap's structural invariants from scratch, throwing
+    // InvariantError on the first break (DESIGN.md §11): BST order on lo
+    // (duplicates may sit in either subtree after removal rotations, so
+    // the bounds are inclusive), heap order on priority, the max_hi
+    // augmentation, link consistency (every node reachable exactly once),
+    // and the node count against size(). This is the walker that would
+    // have caught the PR 6 ghost-node bug on day one.
+    void verify() const {
+        std::unordered_set<const Node*> seen;
+        size_t count = 0;
+        verify_node(root_, nullptr, nullptr, nullptr, seen, count);
+        if (count != size_)
+            invariant_fail("IntervalMap",
+                           "node count mismatch: reachable "
+                               + std::to_string(count) + " != size "
+                               + std::to_string(size_));
+    }
+
+    // Test-only corruption hooks (validation_tests): each deliberately
+    // breaks exactly one invariant — without leaking nodes, so sanitizer
+    // runs stay clean — letting the suite prove verify() catches it.
+    // Each returns false when the tree is too small to corrupt that way.
+    bool corrupt_heap_order_for_test() {
+        Node* c = root_ ? (root_->left ? root_->left : root_->right)
+                        : nullptr;
+        if (!c)
+            return false;
+        c->priority = root_->priority + 1;
+        return true;
+    }
+    bool corrupt_bst_order_for_test() {
+        std::vector<Node*> nodes;
+        collect_nodes(root_, nodes);
+        for (size_t i = 1; i < nodes.size(); ++i)
+            if (nodes[i]->lo != nodes[0]->lo) {
+                std::swap(nodes[0]->lo, nodes[i]->lo);
+                return true;
+            }
+        return false;
+    }
+    bool corrupt_max_hi_for_test() {
+        if (!root_)
+            return false;
+        root_->max_hi += "#corrupt";
+        return true;
+    }
+    // Simulates a lost node's bookkeeping (the ghost-node failure mode).
+    void corrupt_size_for_test() {
+        ++size_;
     }
 
     size_t size() const {
@@ -229,6 +291,57 @@ class IntervalMap {
         }
         update(n);
         return n;
+    }
+
+    template <typename F>
+    static void for_each_node(const Node* n, F& f) {
+        if (!n)
+            return;
+        for_each_node(n->left, f);
+        f(n->lo, n->hi, n->value);
+        for_each_node(n->right, f);
+    }
+
+    static void collect_nodes(Node* n, std::vector<Node*>& out) {
+        if (!n)
+            return;
+        collect_nodes(n->left, out);
+        out.push_back(n);
+        collect_nodes(n->right, out);
+    }
+
+    // `lo_min`/`lo_max` are the inclusive bounds the ancestors impose on
+    // every lo in this subtree (null == unbounded).
+    static void verify_node(const Node* n, const std::string* lo_min,
+                            const std::string* lo_max, const Node* parent,
+                            std::unordered_set<const Node*>& seen,
+                            size_t& count) {
+        if (!n)
+            return;
+        if (!seen.insert(n).second)
+            invariant_fail("IntervalMap",
+                           "link corruption: node reachable twice (lo="
+                               + n->lo + ")");
+        ++count;
+        if (lo_min && n->lo < *lo_min)
+            invariant_fail("IntervalMap",
+                           "BST order violated at lo=" + n->lo);
+        if (lo_max && *lo_max < n->lo)
+            invariant_fail("IntervalMap",
+                           "BST order violated at lo=" + n->lo);
+        if (parent && n->priority > parent->priority)
+            invariant_fail("IntervalMap",
+                           "heap order violated at lo=" + n->lo);
+        std::string expect = n->hi;
+        if (n->left && bound_less(expect, n->left->max_hi))
+            expect = n->left->max_hi;
+        if (n->right && bound_less(expect, n->right->max_hi))
+            expect = n->right->max_hi;
+        if (expect != n->max_hi)
+            invariant_fail("IntervalMap",
+                           "stale max_hi augmentation at lo=" + n->lo);
+        verify_node(n->left, lo_min, &n->lo, n, seen, count);
+        verify_node(n->right, &n->lo, lo_max, n, seen, count);
     }
 
     static void free_node(Node* n) {

@@ -1,0 +1,81 @@
+// Unbounded multi-producer single-consumer queue (Vyukov's algorithm),
+// the inter-thread mailbox for the multi-shard server (ROADMAP item 2):
+// any thread may push an operation onto a shard worker's queue; only
+// that worker pops. Push is wait-free (one exchange + one store), pop is
+// lock-free; neither takes a lock, so TSan exercising this queue checks
+// real release/acquire interleavings rather than mutex serialization.
+//
+// Caveats inherent to the algorithm:
+//  - A push is two steps (swing tail, then link the predecessor). After
+//    the first step and before the second, try_pop on the *predecessor*
+//    chain returns false even though an element is in flight — so an
+//    empty pop means "nothing linked yet", not "nothing pushed". Callers
+//    track completion out of band (op counts, sentinel values) and spin
+//    or yield on false.
+//  - Exactly one consumer thread may call try_pop; producers only push.
+#ifndef PEQUOD_COMMON_MPSC_QUEUE_HH
+#define PEQUOD_COMMON_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <utility>
+
+namespace pequod {
+
+template <typename T>
+class MpscQueue {
+  public:
+    MpscQueue() {
+        Node* stub = new Node;
+        head_ = stub;
+        tail_.store(stub, std::memory_order_relaxed);
+    }
+    MpscQueue(const MpscQueue&) = delete;
+    MpscQueue& operator=(const MpscQueue&) = delete;
+    ~MpscQueue() {
+        // Single-threaded by the time the queue dies: drain whatever the
+        // consumer never popped, then the stub.
+        Node* n = head_;
+        while (n) {
+            Node* next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    // Any thread. The release store on the predecessor's link publishes
+    // `value`'s bytes to the consumer's acquire load in try_pop.
+    void push(T value) {
+        Node* n = new Node;
+        n->value = std::move(value);
+        Node* prev = tail_.exchange(n, std::memory_order_acq_rel);
+        prev->next.store(n, std::memory_order_release);
+    }
+
+    // Consumer thread only. False when nothing is linked yet (see the
+    // in-flight caveat above).
+    bool try_pop(T& out) {
+        Node* next = head_->next.load(std::memory_order_acquire);
+        if (!next)
+            return false;
+        out = std::move(next->value);
+        Node* old = head_;
+        head_ = next;
+        delete old;
+        return true;
+    }
+
+  private:
+    struct Node {
+        std::atomic<Node*> next{nullptr};
+        T value{};
+    };
+
+    // Producers contend on tail_; the consumer owns head_. Separate
+    // cache lines so pops do not bounce the producers' line.
+    alignas(64) std::atomic<Node*> tail_;
+    alignas(64) Node* head_;
+};
+
+}  // namespace pequod
+
+#endif

@@ -17,6 +17,11 @@
 #include <new>
 #include <vector>
 
+#include "common/validate.hh"
+#if PEQUOD_VALIDATE
+#include <unordered_set>
+#endif
+
 namespace pequod {
 
 class NodePool {
@@ -36,6 +41,9 @@ class NodePool {
         if (free_[c]) {
             void* p = free_[c];
             free_[c] = *static_cast<void**>(p);
+#if PEQUOD_VALIDATE
+            free_blocks_.erase(p);
+#endif
             return p;
         }
         size_t block = c * kGranularity;
@@ -55,6 +63,12 @@ class NodePool {
             ::operator delete(p);
             return;
         }
+#if PEQUOD_VALIDATE
+        // Freeing a block already on a free list would link the list to
+        // itself and hand the same memory out twice.
+        if (!free_blocks_.insert(p).second)
+            invariant_fail("NodePool", "double free of pooled block");
+#endif
         size_t c = size_class(n);
         *static_cast<void**>(p) = free_[c];
         free_[c] = p;
@@ -63,6 +77,37 @@ class NodePool {
     // Slab bytes held (excludes pass-through allocations).
     size_t slab_bytes() const {
         return slabs_.size() * kSlabSize;
+    }
+
+    // Walk every free list, checking for cycles (the footprint a double
+    // free leaves behind): no list can hold more blocks than the slabs
+    // ever carved. In validate builds, also reconcile the lists against
+    // the freed-block set maintained by deallocate. Throws
+    // InvariantError (DESIGN.md §11).
+    void verify() const {
+        size_t limit = slabs_.size() * (kSlabSize / kGranularity) + 1;
+        size_t total = 0;
+        for (size_t c = 0; c < kMaxBlock / kGranularity + 1; ++c) {
+            size_t steps = 0;
+            for (void* p = free_[c]; p; p = *static_cast<void**>(p)) {
+                if (++steps > limit)
+                    invariant_fail("NodePool",
+                                   "free-list cycle (double free)");
+#if PEQUOD_VALIDATE
+                if (!free_blocks_.count(p))
+                    invariant_fail("NodePool",
+                                   "free-list block not tracked as freed");
+#endif
+            }
+            total += steps;
+        }
+#if PEQUOD_VALIDATE
+        if (total != free_blocks_.size())
+            invariant_fail("NodePool",
+                           "freed-block count disagrees with free lists");
+#else
+        (void)total;
+#endif
     }
 
   private:
@@ -76,6 +121,11 @@ class NodePool {
     void* free_[kMaxBlock / kGranularity + 1] = {};
     char* cursor_ = nullptr;
     size_t remaining_ = 0;
+#if PEQUOD_VALIDATE
+    // Every pooled block currently sitting on a free list, so deallocate
+    // can reject a double free the moment it happens.
+    std::unordered_set<const void*> free_blocks_;
+#endif
 };
 
 // Minimal allocator over a NodePool, for node-based containers. The pool

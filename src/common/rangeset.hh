@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/str.hh"
+#include "common/validate.hh"
 
 namespace pequod {
 
@@ -49,6 +50,7 @@ class RangeSet {
         }
         ranges_.erase(first, last);
         ranges_.emplace(std::move(lo), std::move(hi));
+        PQ_AUTOVALIDATE(verify());
     }
 
     // Remove [lo, hi) from the covered set: stored ranges it swallows
@@ -67,14 +69,50 @@ class RangeSet {
         std::vector<std::pair<std::string, std::string>> keep;
         while (it != ranges_.end() && (hi.empty() || Str(it->first) < hi)) {
             if (Str(it->first) < lo)
+                // The set owns its bounds; a trimmed range must copy the
+                // new endpoint. pqlint: allow(hot-string)
                 keep.emplace_back(it->first, lo.str());
             if (!hi.empty()
                 && (it->second.empty() || Str(it->second) > hi))
-                keep.emplace_back(hi.str(), it->second);
+                keep.emplace_back(hi.str(), it->second);  // pqlint: allow(hot-string)
             it = ranges_.erase(it);
         }
         for (auto& kv : keep)
             ranges_.emplace(std::move(kv.first), std::move(kv.second));
+        PQ_AUTOVALIDATE(verify());
+    }
+
+    // Re-derive the set's invariants (DESIGN.md §11): every stored range
+    // is non-empty, only the last range may extend to +infinity, and
+    // consecutive ranges are strictly separated (overlapping or adjacent
+    // ranges must have been coalesced by add). Throws InvariantError.
+    void verify() const {
+        const std::string* prev_hi = nullptr;
+        for (const auto& range : ranges_) {
+            if (prev_hi && prev_hi->empty())
+                invariant_fail("RangeSet",
+                               "range stored after an infinite upper bound");
+            if (!range.second.empty() && !(range.first < range.second))
+                invariant_fail("RangeSet",
+                               "empty or inverted range at lo="
+                                   + range.first);
+            if (prev_hi && !(*prev_hi < range.first))
+                invariant_fail("RangeSet",
+                               "overlapping or un-coalesced ranges at lo="
+                                   + range.first);
+            prev_hi = &range.second;
+        }
+    }
+
+    // Test-only corruption hook (validation_tests): plants an inverted
+    // range next to the first stored one so the suite can prove verify()
+    // catches it. False when the set is empty.
+    bool corrupt_for_test() {
+        if (ranges_.empty())
+            return false;
+        const std::string& lo = ranges_.begin()->first;
+        ranges_.emplace(lo + '\0', lo);
+        return true;
     }
 
     bool empty() const {

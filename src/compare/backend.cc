@@ -275,7 +275,7 @@ class ClientPequodBackend final : public Backend, private net::Endpoint {
         Join join;
         std::string prefix;
         RangeSet valid;
-        std::set<std::string> registered;
+        std::set<std::string, std::less<>> registered;
     };
     struct ClientUpdater {
         SinkState* sink;
@@ -335,7 +335,7 @@ class ClientPequodBackend final : public Backend, private net::Endpoint {
                 join.sink().expand(bound, sink_key);
                 // Through client_write, not rpc_put: the derived sink
                 // write must stab too, or chained joins go stale.
-                client_write(sink_key.str(), value);
+                client_write(sink_key.view(), value);
                 ++stats_.server_updates;
             } else {
                 // A non-final source changed: run the rest of the join
@@ -404,7 +404,7 @@ class ClientPequodBackend final : public Backend, private net::Endpoint {
             if (last) {
                 KeyBuf sink_key;
                 join.sink().expand(bound, sink_key);
-                client_write(sink_key.str(), kv.second);
+                client_write(sink_key.view(), kv.second);
             } else {
                 execute(sk, source_index + 1, bound);
             }
@@ -418,6 +418,8 @@ class ClientPequodBackend final : public Backend, private net::Endpoint {
     std::vector<std::pair<std::string, std::string>> reply_;
     std::vector<std::unique_ptr<SinkState>> sinks_;
     std::vector<std::unique_ptr<ClientUpdater>> updaters_;
+    // Client-side Pequod runs the join machinery outside the engine, so
+    // it owns its updater map directly. pqlint: allow(intervalmap-mutation)
     IntervalMap<uint32_t> umap_;
     std::vector<uint32_t> hits_;
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
+
+#include "common/validate.hh"
 
 namespace pequod {
 
@@ -387,7 +390,7 @@ void Server::execute(Table& sink_table, int source_index, const SlotSet& ss,
                   if (last) {
                       KeyBuf sink_key;
                       join.sink().expand(bound, sink_key);
-                      emit(sink_key.str(), e);
+                      emit(sink_key.view(), e);
                   } else {
                       execute(sink_table, source_index + 1, bound,
                               install_updaters, emit);
@@ -421,6 +424,10 @@ size_t Server::invalidate_range(Str lo, Str hi) {
         Str mhi = min_bound(t.prefix_upper(), hi);
         torn += invalidate_table(t, mlo, mhi);
     }
+    // The invalidation cascade is the engine's most intricate mutation —
+    // it edits stores, valid sets, and updater maps across chained
+    // tables — so checked builds re-verify the whole engine after it.
+    PQ_AUTOVALIDATE(verify());
     return torn;
 }
 
@@ -469,7 +476,7 @@ void Server::apply_update(Updater& u, Str key, const Entry& stored,
     if (u.source_index + 1 == sk.join.nsource()) {
         KeyBuf sink_key;
         sk.join.sink().expand(bound, sink_key);
-        write_emitted(sink_key.str(), stored,
+        write_emitted(sink_key.view(), stored,
                       config_.enable_output_hints ? &u.out : nullptr);
         ++stat_eager_updates_;
     } else if (!inserted) {
@@ -493,6 +500,8 @@ void Server::pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f) {
     std::map<std::string, std::string, std::less<>> results;
     SlotSet ss = sink_table.sink().join.sink().derive_slot_set(lo, hi);
     auto emit = [&results](Str key, const Entry& src) {
+        // Pull recomputation owns its transient result set; this is the
+        // documented non-materializing slow path. pqlint: allow(hot-string)
         results.insert_or_assign(key.str(), src.value());
     };
     EmitRef emit_ref(emit);
@@ -503,6 +512,92 @@ void Server::pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f) {
         ValuePtr v = &it->second;
         f(it->first, v);
     }
+}
+
+void Server::verify() const {
+    // Per-table structural walks, plus directory order/nesting.
+    root_.verify();
+    const std::string* prev = nullptr;
+    for (const auto& entry : tables_) {
+        if (entry.first != entry.second.prefix())
+            invariant_fail("Server", "table prefix disagrees with its "
+                                     "directory key: " + entry.first);
+        if (prev && starts_with(entry.first, *prev))
+            invariant_fail("Server",
+                           "nested table prefixes: " + *prev + " vs "
+                               + entry.first);
+        prev = &entry.first;
+        entry.second.verify();
+    }
+
+    // Every interval in any updater map must name a live updater, and
+    // each live updater must be registered exactly once — a torn-down
+    // (null) slot with a surviving interval would stab into freed state,
+    // and a live updater with no interval is maintenance that silently
+    // stopped firing.
+    std::vector<size_t> interval_refs(updaters_.size(), 0);
+    auto count_table = [this, &interval_refs](const Table& t) {
+        t.updaters().for_each([this, &interval_refs](
+                                  const std::string& lo, const std::string&,
+                                  const uint32_t& idx) {
+            if (idx >= updaters_.size())
+                invariant_fail("Server", "updater interval names an "
+                                         "out-of-range index");
+            if (!updaters_[idx])
+                invariant_fail("Server", "updater interval survives its "
+                                         "torn-down updater (lo=" + lo
+                                         + ")");
+            ++interval_refs[idx];
+        });
+    };
+    count_table(root_);
+    for (const auto& entry : tables_)
+        count_table(entry.second);
+    for (size_t i = 0; i < updaters_.size(); ++i) {
+        const Updater* u = updaters_[i].get();
+        if (!u) {
+            if (interval_refs[i] != 0)
+                invariant_fail("Server", "null updater still registered");
+            continue;
+        }
+        if (interval_refs[i] != 1)
+            invariant_fail("Server",
+                           "live updater registered "
+                               + std::to_string(interval_refs[i])
+                               + " times (expected exactly 1)");
+        if (!u->sink_table || !u->sink_table->is_sink())
+            invariant_fail("Server", "updater names a sink table that is "
+                                     "not a sink");
+        const Table::Sink& sk = u->sink_table->sink();
+        if (!sk.registered.count(
+                updater_dedup_key(u->source_index, u->bound_view)))
+            invariant_fail("Server", "live updater missing from its "
+                                     "sink's registration set");
+    }
+
+    // §4.3 refcount reconciliation: every reference to a shared buffer
+    // is held by exactly one stored entry, so each buffer's refcount
+    // must equal the number of entries (owner + sharers) that point at
+    // it. More means a leaked reference; fewer means an early free.
+    std::unordered_map<const SharedValue*, uint32_t> buffer_refs;
+    auto count_store = [&buffer_refs](const Store& store) {
+        store.scan(Str(), Str(),
+                   [&buffer_refs](const std::string&, const Entry& e) {
+                       if (const SharedValue* sv =
+                               e.shared_buffer_for_validate())
+                           ++buffer_refs[sv];
+                   });
+    };
+    count_store(root_.store());
+    for (const auto& entry : tables_)
+        count_store(entry.second.store());
+    for (const auto& kv : buffer_refs)
+        if (kv.first->refs() != kv.second)
+            invariant_fail(
+                "Server",
+                "shared value refcount " + std::to_string(kv.first->refs())
+                    + " disagrees with its " + std::to_string(kv.second)
+                    + " referencing entries");
 }
 
 MemoryStats Server::memory_stats() const {

@@ -102,6 +102,18 @@ class Server {
     // Aggregated over the root table and every routed table.
     MemoryStats memory_stats() const;
 
+    // Re-derive the engine's cross-table invariants (DESIGN.md §11):
+    // every table (and its store, valid set, and updater treap) checks
+    // out structurally; the table directory never nests prefixes; every
+    // interval registered in any updater map names a live updater, and
+    // every live updater is registered exactly once under the dedup key
+    // its sink remembers; and each shared value buffer's refcount equals
+    // the number of stored entries referencing it, so §4.3 sharing can
+    // neither leak a buffer nor free one early. Throws InvariantError.
+    // Checked-build mode (-DPEQUOD_VALIDATE=ON) runs this automatically
+    // after every invalidation cascade.
+    void verify() const;
+
     // Introspection, mostly for tests and stats reporting.
     size_t table_count() const {
         return tables_.size();

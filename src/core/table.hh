@@ -19,6 +19,7 @@
 
 #include "common/interval_map.hh"
 #include "common/rangeset.hh"
+#include "common/validate.hh"
 #include "join/join.hh"
 #include "store/store.hh"
 
@@ -36,7 +37,7 @@ class Table {
         // Serialized (source index, bindings) of every installed updater,
         // so overlapping materializations (e.g. a whole-table scan after
         // per-user scans) cannot register duplicate maintenance work.
-        std::unordered_set<std::string> registered;
+        std::unordered_set<std::string, StrHash, StrEqual> registered;
     };
 
     Table(std::string prefix, bool enable_subtables)
@@ -105,6 +106,39 @@ class Table {
     // rejected, so one table's scratch is never reused reentrantly.
     std::vector<uint32_t>& stab_scratch() {
         return stab_scratch_;
+    }
+
+    // Re-derive this table's invariants (DESIGN.md §11): the store and
+    // updater map check out structurally, every key the store holds lies
+    // inside this table's block, and — when this table is a join sink —
+    // every materialized (valid) range lies inside the block too, so a
+    // scan that trusts the valid set can only be served keys this table
+    // actually owns. Throws InvariantError on the first break.
+    void verify() const {
+        store_.verify();
+        updaters_.verify();
+        if (!prefix_.empty()) {
+            store_.scan(Str(), Str(), [this](const std::string& key,
+                                             const Entry&) {
+                if (!Str(key).starts_with(prefix_)
+                    || !(prefix_hi_.empty() || Str(key) < Str(prefix_hi_)))
+                    invariant_fail("Table", "stored key outside the table "
+                                            "block: " + key);
+            });
+        }
+        if (!sink_)
+            return;
+        sink_->valid.verify();
+        for (const auto& range : sink_->valid.ranges()) {
+            if (Str(range.first) < Str(prefix_))
+                invariant_fail("Table", "valid range starts before the "
+                                        "sink block: " + range.first);
+            if (!prefix_hi_.empty()
+                && (range.second.empty()
+                    || Str(prefix_hi_) < Str(range.second)))
+                invariant_fail("Table", "valid range extends past the "
+                                        "sink block: lo=" + range.first);
+        }
     }
 
   private:

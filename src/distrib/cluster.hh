@@ -135,8 +135,10 @@ class BaseServer : public Node {
     uint64_t& live_seq(int compute_id);
 
     Server engine_;
+    // Subscriptions are per-store routing state, not join maintenance,
+    // so the map lives outside Table. pqlint: allow(intervalmap-mutation)
     IntervalMap<int> subscriptions_;   // subscribed range -> compute id
-    std::set<std::string> registered_; // dedup of (subscriber, lo, hi)
+    std::set<std::string, std::less<>> registered_;  // (subscriber, lo, hi)
     std::vector<int> stab_scratch_;
     uint64_t gen_ = 1;
     std::map<int, uint64_t> live_seq_;   // next live notify seq per compute

@@ -68,6 +68,8 @@ class SlotSet {
     }
 
   private:
+    // SlotSet is a transient view; the bytes live in the stabbed key or
+    // an OwnedSlots (see Updater::bound). pqlint: allow(str-member)
     std::array<Str, kMaxSlots> values_;
     unsigned mask_ = 0;
 };
@@ -154,7 +156,7 @@ class Pattern {
     std::string expand(const SlotSet& ss) const {
         KeyBuf buf;
         expand(ss, buf);
-        return buf.str().str();
+        return buf.view().str();
     }
 
     bool has_slot(int slot) const {

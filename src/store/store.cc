@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/validate.hh"
+
 namespace pequod {
 
 void Store::set_subtable_components(const std::string& prefix,
@@ -43,14 +45,16 @@ Store::Subtable* Store::find_or_make_subtable(Str group) {
     auto hit = table_index_.find(group);
     if (hit != table_index_.end())
         return hit->second;
-    auto ins = tables_.emplace(group.str(), Subtable(pool_.get()));
+    // First touch of a group: creating the subtable owns the prefix
+    // bytes; every later write hits the transparent index above instead.
+    auto ins = tables_.emplace(group.str(), Subtable(pool_.get()));  // pqlint: allow(hot-string)
     Subtable* sub = &ins.first->second;
     if (ins.second) {
-        sub->prefix = group.str();
+        sub->prefix = group.str();  // pqlint: allow(hot-string)
         ++stats_.subtable_count;
         stats_.structure_bytes += kSubtableOverhead + 2 * group.size();
     }
-    table_index_.emplace(group.str(), sub);
+    table_index_.emplace(group.str(), sub);  // pqlint: allow(hot-string)
     return sub;
 }
 
@@ -213,6 +217,70 @@ size_t Store::erase_range(Str lo, Str hi) {
          ++dit)
         erase_in(dit->second.tree);
     return removed;
+}
+
+void Store::verify() const {
+    MemoryStats expect;
+    auto count_tree = [&expect](const Tree& tree) {
+        for (const auto& kv : tree) {
+            ++expect.entry_count;
+            expect.key_bytes += kv.first.size();
+            expect.value_bytes += kv.second.accounted_value_bytes();
+            expect.structure_bytes += kNodeOverhead;
+            if (kv.second.shares_value()) {
+                ++expect.shared_value_count;
+                expect.structure_bytes += kSharedRefOverhead;
+            }
+        }
+    };
+    count_tree(tree_);
+    if (enable_subtables_) {
+        for (const auto& kv : tree_)
+            if (group_length(kv.first) != 0)
+                invariant_fail("Store", "main-tree key belongs to a group: "
+                                            + kv.first);
+    }
+    for (const auto& dir : tables_) {
+        const Subtable& sub = dir.second;
+        if (dir.first != sub.prefix)
+            invariant_fail("Store", "subtable prefix disagrees with its "
+                                    "directory key: " + dir.first);
+        auto hit = table_index_.find(Str(dir.first));
+        if (hit == table_index_.end() || hit->second != &sub)
+            invariant_fail("Store", "hash index misses or misroutes "
+                                    "subtable: " + dir.first);
+        for (const auto& kv : sub.tree)
+            if (group_length(kv.first) != sub.prefix.size()
+                || !Str(kv.first).starts_with(sub.prefix))
+                invariant_fail("Store", "key routed to the wrong subtable: "
+                                            + kv.first);
+        count_tree(sub.tree);
+        ++expect.subtable_count;
+        expect.structure_bytes += kSubtableOverhead + 2 * sub.prefix.size();
+    }
+    if (table_index_.size() != tables_.size())
+        invariant_fail("Store", "hash index size disagrees with the "
+                                "subtable directory");
+    if (expect.entry_count != stats_.entry_count)
+        invariant_fail("Store", "entry_count stale: counted "
+                                    + std::to_string(expect.entry_count)
+                                    + " != stats "
+                                    + std::to_string(stats_.entry_count));
+    if (expect.key_bytes != stats_.key_bytes)
+        invariant_fail("Store", "key_bytes accounting stale");
+    if (expect.value_bytes != stats_.value_bytes)
+        invariant_fail("Store", "value_bytes accounting stale");
+    if (expect.structure_bytes != stats_.structure_bytes)
+        invariant_fail("Store", "structure_bytes accounting stale");
+    if (expect.subtable_count != stats_.subtable_count)
+        invariant_fail("Store", "subtable_count accounting stale");
+    if (expect.shared_value_count != stats_.shared_value_count)
+        invariant_fail("Store",
+                       "shared_value_count stale: counted "
+                           + std::to_string(expect.shared_value_count)
+                           + " sharers != stats "
+                           + std::to_string(stats_.shared_value_count));
+    pool_->verify();
 }
 
 const Entry* Store::get_ptr(Str key) const {

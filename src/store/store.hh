@@ -126,6 +126,14 @@ class Entry {
     bool shares_value() const {
         return sv_ && !owns_;
     }
+    // Validation accessor (DESIGN.md §11): the shared buffer this entry
+    // references (null when the value is inline), so Server::verify()
+    // can reconcile each buffer's refcount against the entries holding
+    // it. Not for general use — the buffer's lifetime belongs to its
+    // referencing entries.
+    const SharedValue* shared_buffer_for_validate() const {
+        return sv_;
+    }
     // Payload bytes this entry is charged for: sharers are charged
     // nothing (their owner counts the buffer).
     size_t accounted_value_bytes() const {
@@ -253,6 +261,14 @@ class Store {
     size_t size() const {
         return stats_.entry_count;
     }
+
+    // Re-derive the store's invariants from a full walk (DESIGN.md §11):
+    // the incremental MemoryStats match a from-scratch recount (incl.
+    // shared_value_count vs the entries that actually share a buffer),
+    // every subtable key belongs to its group, the hash index agrees
+    // with the directory, and the node pool's free lists are sound.
+    // Throws InvariantError on the first break.
+    void verify() const;
 
   private:
     // Estimated allocator cost beyond payload bytes: a red-black node

@@ -174,8 +174,11 @@ TEST_P(BackendConformance, ChainedJoinStaysFreshThroughDerivedWrites) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, BackendConformance, ::testing::ValuesIn(all_backends()),
-    [](const ::testing::TestParamInfo<BackendCase>& info) {
-        return std::string(info.param.label);
+    // gtest's macro expands to a function whose own parameter is named
+    // `info`, so the lambda parameter needs a different name under
+    // -Wshadow.
+    [](const ::testing::TestParamInfo<BackendCase>& param_info) {
+        return std::string(param_info.param.label);
     });
 
 // Server-side and client-side Pequod run the same join machinery on

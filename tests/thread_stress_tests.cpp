@@ -1,0 +1,315 @@
+// Concurrency stress suite, built to run under ThreadSanitizer
+// (-DPEQUOD_TSAN=ON). Three layers, mirroring how the multi-shard
+// server (ROADMAP item 2) will be assembled:
+//
+//  1. MpscQueue alone: producers hammer the lock-free mailbox while the
+//     consumer drains it; TSan checks the release/acquire pairing and
+//     the test checks per-producer FIFO order and zero loss.
+//  2. One Server behind a std::shared_mutex: concurrent scan readers
+//     over pre-materialized ranges race a single writer. The warm scan
+//     path is supposed to be read-only (DESIGN.md §11); if any hidden
+//     mutation remains — a stats bump, a lazily-built cache — TSan
+//     flags the two shared_lock readers touching it concurrently.
+//  3. The sharding prototype: N worker threads, each owning a private
+//     Server and fed through its own MpscQueue by several producers.
+//     Workers log the order they consumed ops in; the test replays
+//     that exact order into a sequential oracle Server and demands an
+//     identical final state, proving the mailbox neither drops,
+//     duplicates, nor tears operations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/base.hh"
+#include "common/mpsc_queue.hh"
+#include "core/server.hh"
+
+namespace pequod {
+namespace {
+
+constexpr const char* kTimelineJoin =
+    "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>";
+
+std::vector<std::string> timeline(Server& server, const std::string& user) {
+    std::vector<std::string> keys;
+    std::string lo = "t|" + user + "|";
+    server.scan(lo, prefix_successor(lo),
+                [&](const std::string& k, const ValuePtr&) {
+                    keys.push_back(k);
+                });
+    return keys;
+}
+
+TEST(MpscQueue, PerProducerFifoUnderContention) {
+    constexpr int kProducers = 4;
+    constexpr uint64_t kPerProducer = 5000;
+    MpscQueue<uint64_t> queue;
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p != kProducers; ++p)
+        producers.emplace_back([&queue, p]() {
+            for (uint64_t i = 0; i != kPerProducer; ++i)
+                queue.push(static_cast<uint64_t>(p) * kPerProducer + i);
+        });
+
+    // Consume on this thread while the producers run, so pops genuinely
+    // interleave with pushes instead of draining a finished queue.
+    std::vector<uint64_t> next_seq(kProducers, 0);
+    uint64_t received = 0;
+    while (received != kProducers * kPerProducer) {
+        uint64_t item;
+        if (!queue.try_pop(item)) {
+            std::this_thread::yield();
+            continue;
+        }
+        ++received;
+        auto p = item / kPerProducer;
+        auto seq = item % kPerProducer;
+        ASSERT_LT(p, static_cast<uint64_t>(kProducers));
+        // Each producer's items must arrive in the order it pushed them.
+        ASSERT_EQ(seq, next_seq[p]);
+        ++next_seq[p];
+    }
+    for (auto& t : producers)
+        t.join();
+    uint64_t leftover;
+    EXPECT_FALSE(queue.try_pop(leftover));
+}
+
+TEST(ThreadStress, ReadersVsWriterOverMaterializedServer) {
+    constexpr int kUsers = 8;
+    constexpr int kReaders = 3;
+    constexpr int kWriterPuts = 150;
+
+    auto user_name = [](int u) { return "u" + std::to_string(u); };
+
+    // The stressed server and a sequential oracle receive identical
+    // setup; the oracle then replays the writer's exact put sequence
+    // single-threaded, so any divergence in final state is the
+    // concurrency's fault.
+    Server server;
+    Server oracle;
+    for (Server* s : {&server, &oracle}) {
+        s->add_join(kTimelineJoin);
+        for (int u = 0; u != kUsers; ++u) {
+            // Everyone follows their two successors: every post fans out.
+            s->put("s|" + user_name(u) + "|" + user_name((u + 1) % kUsers),
+                   "1");
+            s->put("s|" + user_name(u) + "|" + user_name((u + 2) % kUsers),
+                   "1");
+        }
+        uint64_t ts = 0;
+        for (int u = 0; u != kUsers; ++u)
+            s->put("p|" + user_name(u) + "|" + pad_number(++ts, 10), "seed");
+        // Materialize every timeline up front: the readers below stay on
+        // the warm, covered scan path for the whole run.
+        for (int u = 0; u != kUsers; ++u)
+            timeline(*s, user_name(u));
+    }
+
+    // The writer's put sequence, precomputed so the oracle can replay it.
+    std::vector<std::pair<std::string, std::string>> puts;
+    {
+        std::mt19937 rng(20140402);
+        uint64_t ts = 1000;
+        for (int i = 0; i != kWriterPuts; ++i) {
+            int u = static_cast<int>(rng() % kUsers);
+            puts.emplace_back("p|" + user_name(u) + "|" + pad_number(++ts, 10),
+                              "post " + std::to_string(i));
+        }
+    }
+
+    std::shared_mutex mu;
+    std::atomic<bool> writer_done{false};
+    std::atomic<uint64_t> keys_seen{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r != kReaders; ++r)
+        readers.emplace_back([&, r]() {
+            std::mt19937 rng(7u + static_cast<unsigned>(r));
+            uint64_t local = 0;
+            do {
+                int u = static_cast<int>(rng() % kUsers);
+                std::shared_lock<std::shared_mutex> lock(mu);
+                std::string lo = "t|" + user_name(u) + "|";
+                server.scan(lo, prefix_successor(lo),
+                            [&](const std::string& k, const ValuePtr& v) {
+                                local += k.size() + v->size();
+                            });
+                if (const Entry* e = server.get_ptr("s|" + user_name(u) + "|"
+                                                    + user_name((u + 1)
+                                                                % kUsers)))
+                    local += e->value().length();
+                lock.unlock();
+                // Give the writer a chance at the mutex; on a one-core
+                // box greedy readers otherwise starve it for minutes
+                // under TSan.
+                std::this_thread::yield();
+            } while (!writer_done.load(std::memory_order_acquire));
+            keys_seen.fetch_add(local, std::memory_order_relaxed);
+        });
+
+    std::thread writer([&]() {
+        for (const auto& kv : puts) {
+            std::unique_lock<std::shared_mutex> lock(mu);
+            server.put(kv.first, kv.second);
+        }
+        writer_done.store(true, std::memory_order_release);
+    });
+
+    writer.join();
+    for (auto& t : readers)
+        t.join();
+    EXPECT_GT(keys_seen.load(), 0u);
+
+    for (const auto& kv : puts)
+        oracle.put(kv.first, kv.second);
+    for (int u = 0; u != kUsers; ++u)
+        EXPECT_EQ(timeline(server, user_name(u)),
+                  timeline(oracle, user_name(u)))
+            << "timeline diverged for " << user_name(u);
+    EXPECT_EQ(server.memory_stats().entry_count,
+              oracle.memory_stats().entry_count);
+    server.verify();
+}
+
+// One sharded operation: a put or a scan routed to the shard that owns
+// the user, or a stop sentinel ending a producer's stream.
+struct ShardOp {
+    enum Kind : uint8_t { kPut, kScan, kStop };
+    Kind kind = kStop;
+    std::string key;
+    std::string value;
+};
+
+TEST(ThreadStress, ShardedServersMatchSequentialReplay) {
+    constexpr int kShards = 3;
+    constexpr int kProducers = 3;
+    constexpr int kOpsPerProducer = 300;
+    constexpr int kUsersPerShard = 4;
+
+    // Users are partitioned across shards (uid % kShards) and only follow
+    // users on their own shard, so every op is shard-local — the
+    // cross-shard fan-out protocol is ROADMAP item 2's problem, not this
+    // harness's.
+    auto user_name = [](int shard, int slot) {
+        return "u" + std::to_string(slot * kShards + shard);
+    };
+
+    struct Shard {
+        Server server;
+        MpscQueue<ShardOp> queue;
+        std::vector<ShardOp> consumed;
+    };
+    std::vector<std::unique_ptr<Shard>> shards;
+    for (int s = 0; s != kShards; ++s) {
+        shards.push_back(std::make_unique<Shard>());
+        shards.back()->server.add_join(kTimelineJoin);
+    }
+
+    std::vector<std::thread> workers;
+    for (int s = 0; s != kShards; ++s)
+        workers.emplace_back([&shards, s]() {
+            Shard& shard = *shards[s];
+            int stops = 0;
+            // Per-producer FIFO means each producer's stop sentinel
+            // arrives after all its real ops; once every producer's stop
+            // is in, the stream is complete.
+            while (stops != kProducers) {
+                ShardOp op;
+                if (!shard.queue.try_pop(op)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                if (op.kind == ShardOp::kStop) {
+                    ++stops;
+                    continue;
+                }
+                if (op.kind == ShardOp::kPut)
+                    shard.server.put(op.key, op.value);
+                else
+                    shard.server.scan(op.key, prefix_successor(op.key),
+                                      [](const std::string&,
+                                         const ValuePtr&) {});
+                shard.consumed.push_back(std::move(op));
+            }
+        });
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p != kProducers; ++p)
+        producers.emplace_back([&shards, p, user_name]() {
+            std::mt19937 rng(100u + static_cast<unsigned>(p));
+            uint64_t ts = static_cast<uint64_t>(p) * 1000000;
+            for (int i = 0; i != kOpsPerProducer; ++i) {
+                int shard = static_cast<int>(rng() % kShards);
+                int slot = static_cast<int>(rng() % kUsersPerShard);
+                std::string user = user_name(shard, slot);
+                ShardOp op;
+                switch (rng() % 4) {
+                case 0:
+                    op.kind = ShardOp::kPut;
+                    op.key = "s|" + user + "|"
+                        + user_name(shard,
+                                    static_cast<int>(rng() % kUsersPerShard));
+                    op.value = "1";
+                    break;
+                case 1:
+                    op.kind = ShardOp::kScan;
+                    op.key = "t|" + user + "|";
+                    break;
+                default:
+                    op.kind = ShardOp::kPut;
+                    op.key = "p|" + user + "|" + pad_number(++ts, 10);
+                    op.value = "post by " + user;
+                    break;
+                }
+                shards[static_cast<size_t>(shard)]->queue.push(std::move(op));
+            }
+            for (auto& shard : shards)
+                shard->queue.push(ShardOp{});  // kStop
+        });
+
+    for (auto& t : producers)
+        t.join();
+    for (auto& t : workers)
+        t.join();
+
+    // Replay each shard's consumed order into a fresh sequential server;
+    // scans replay too, since materialization timing affects stats and
+    // entry counts. The final states must be bit-for-bit equal.
+    for (int s = 0; s != kShards; ++s) {
+        Shard& shard = *shards[static_cast<size_t>(s)];
+        Server oracle;
+        oracle.add_join(kTimelineJoin);
+        for (const ShardOp& op : shard.consumed) {
+            if (op.kind == ShardOp::kPut)
+                oracle.put(op.key, op.value);
+            else
+                oracle.scan(op.key, prefix_successor(op.key),
+                            [](const std::string&, const ValuePtr&) {});
+        }
+        std::vector<std::pair<std::string, std::string>> got, want;
+        shard.server.scan(Str(), Str(),
+                          [&](const std::string& k, const ValuePtr& v) {
+                              got.emplace_back(k, *v);
+                          });
+        oracle.scan(Str(), Str(),
+                    [&](const std::string& k, const ValuePtr& v) {
+                        want.emplace_back(k, *v);
+                    });
+        EXPECT_EQ(got, want) << "shard " << s << " diverged from its oracle";
+        EXPECT_EQ(shard.server.memory_stats().entry_count,
+                  oracle.memory_stats().entry_count);
+        shard.server.verify();
+    }
+}
+
+}  // namespace
+}  // namespace pequod

@@ -99,14 +99,14 @@ TEST(Str, KeyBufAppendsAndGrows) {
     buf.append("t|");
     buf.append(std::string("ann"));
     buf.push_back('|');
-    EXPECT_EQ(buf.str(), Str("t|ann|"));
+    EXPECT_EQ(buf.view(), Str("t|ann|"));
     buf.clear();
     EXPECT_EQ(buf.size(), 0u);
     // Growth past the inline capacity keeps the contents intact.
     std::string big(KeyBuf::kInlineCapacity * 3, 'x');
     buf.append("head|");
     buf.append(big);
-    EXPECT_EQ(buf.str(), Str("head|" + big));
+    EXPECT_EQ(buf.view(), Str("head|" + big));
 }
 
 TEST(Base, PadNumber) {

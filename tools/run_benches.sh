@@ -37,15 +37,27 @@ FAULTS_RAW=$(mktemp)
 trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" "$FAULTS_RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
 
+# A missing figure harness used to be skipped silently, which made the
+# uploaded JSON look like the figure had simply produced no data. Fail
+# loudly instead; SKIP_FIGS=1 is the explicit opt-out.
+require_bench() {
+    if [ ! -x "$BENCH_DIR/$1" ]; then
+        echo "error: figure harness '$BENCH_DIR/$1' not found or not" \
+             "executable (build it, or set SKIP_FIGS=1 to skip the" \
+             "figure runs)" >&2
+        exit 1
+    fi
+}
+
 if [ "${SKIP_FIGS:-0}" != "1" ]; then
-    [ -x "$BENCH_DIR/fig7_system_comparison" ] \
-        && "$BENCH_DIR/fig7_system_comparison" $FIG7_ARGS > "$FIG7_RAW"
-    [ -x "$BENCH_DIR/fig9_interleaved" ] \
-        && "$BENCH_DIR/fig9_interleaved" $FIG9_ARGS > "$FIG9_RAW"
-    [ -x "$BENCH_DIR/ablation_value_sharing" ] \
-        && "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
-    [ -x "$BENCH_DIR/fig_faults" ] \
-        && "$BENCH_DIR/fig_faults" $FAULTS_ARGS > "$FAULTS_RAW"
+    for b in fig7_system_comparison fig9_interleaved \
+             ablation_value_sharing fig_faults; do
+        require_bench "$b"
+    done
+    "$BENCH_DIR/fig7_system_comparison" $FIG7_ARGS > "$FIG7_RAW"
+    "$BENCH_DIR/fig9_interleaved" $FIG9_ARGS > "$FIG9_RAW"
+    "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
+    "$BENCH_DIR/fig_faults" $FAULTS_ARGS > "$FAULTS_RAW"
 fi
 
 python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" \
