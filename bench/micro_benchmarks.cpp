@@ -4,7 +4,11 @@
 // and eager incremental maintenance.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/interval_map.hh"
+#include "common/mpsc_queue.hh"
 #include "common/rng.hh"
 #include "core/server.hh"
 #include "join/join.hh"
@@ -221,6 +225,58 @@ void BM_EagerUpdate(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * followers);
 }
 BENCHMARK(BM_EagerUpdate)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MpscQueueSingleProducer(benchmark::State& state) {
+    // The shard mailbox hot path with no contention: one thread both
+    // enqueues and drains, so this is the raw push+pop cost (two
+    // allocations, one exchange, two fence pairs).
+    MpscQueue<uint64_t> queue;
+    uint64_t v = 0;
+    for (auto _ : state) {
+        queue.push(v++);
+        uint64_t out;
+        while (!queue.try_pop(out))
+            ;
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpscQueueSingleProducer);
+
+void BM_MpscQueueMultiProducer(benchmark::State& state) {
+    // Producers hammering one consumer's mailbox (the fan-in a busy
+    // shard sees). Thread 0 drains; the rest push. The queue lives
+    // across invocations (benchmark threads are not barrier-synchronized
+    // around setup/teardown); producers_ tracks when pushing is done so
+    // the consumer can drain the tail and stop.
+    static MpscQueue<uint64_t> queue;
+    static std::atomic<int> producers{0};
+    if (state.thread_index() == 0) {
+        uint64_t drained = 0;
+        for (auto _ : state) {
+            uint64_t out;
+            if (queue.try_pop(out)) {
+                ++drained;
+                benchmark::DoNotOptimize(out);
+            }
+        }
+        state.SetItemsProcessed(static_cast<int64_t>(drained));
+        // Wait out the producers, then drain what they left queued, so
+        // the next invocation starts empty.
+        while (producers.load(std::memory_order_acquire) != 0)
+            std::this_thread::yield();
+        uint64_t out;
+        while (queue.try_pop(out))
+            ;
+    } else {
+        producers.fetch_add(1, std::memory_order_acq_rel);
+        uint64_t v = 0;
+        for (auto _ : state)
+            queue.push(v++);
+        producers.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+BENCHMARK(BM_MpscQueueMultiProducer)->Threads(4)->UseRealTime();
 
 }  // namespace
 }  // namespace pequod

@@ -1,9 +1,17 @@
-// Unbounded multi-producer single-consumer queue (Vyukov's algorithm),
-// the inter-thread mailbox for the multi-shard server (ROADMAP item 2):
-// any thread may push an operation onto a shard worker's queue; only
-// that worker pops. Push is wait-free (one exchange + one store), pop is
-// lock-free; neither takes a lock, so TSan exercising this queue checks
-// real release/acquire interleavings rather than mutex serialization.
+// Multi-producer single-consumer queue (Vyukov's algorithm), the
+// inter-thread mailbox for the multi-shard server (DESIGN.md §12): any
+// thread may push a frame onto a shard worker's queue; only that worker
+// pops. Push is wait-free (one exchange + one store), pop is lock-free;
+// neither takes a lock, so TSan exercising this queue checks real
+// release/acquire interleavings rather than mutex serialization.
+//
+// Bounded mode (§12 backpressure): set_capacity(n) arms an approximate
+// element cap. try_push refuses when the queue is at capacity and push
+// spins (yielding) until space frees up, so a producer outrunning a
+// shard worker stalls instead of growing the mailbox without bound. The
+// bound is approximate — concurrent producers can each pass the check
+// before either increment lands, overshooting by at most the producer
+// count — which is exactly as precise as backpressure needs to be.
 //
 // Caveats inherent to the algorithm:
 //  - A push is two steps (swing tail, then link the predecessor). After
@@ -12,11 +20,14 @@
 //    empty pop means "nothing linked yet", not "nothing pushed". Callers
 //    track completion out of band (op counts, sentinel values) and spin
 //    or yield on false.
-//  - Exactly one consumer thread may call try_pop; producers only push.
+//  - Exactly one consumer thread may call try_pop/peek; producers only
+//    push. approx_size is safe from any thread.
 #ifndef PEQUOD_COMMON_MPSC_QUEUE_HH
 #define PEQUOD_COMMON_MPSC_QUEUE_HH
 
 #include <atomic>
+#include <cstddef>
+#include <thread>
 #include <utility>
 
 namespace pequod {
@@ -42,9 +53,50 @@ class MpscQueue {
         }
     }
 
-    // Any thread. The release store on the predecessor's link publishes
-    // `value`'s bytes to the consumer's acquire load in try_pop.
+    // Arm (or, with 0, disarm) the approximate element cap. Call before
+    // producers start; the cap itself is not atomic state.
+    void set_capacity(size_t capacity) {
+        capacity_ = capacity;
+    }
+    size_t capacity() const {
+        return capacity_;
+    }
+
+    // Elements pushed but not yet popped, give or take in-flight
+    // operations. Any thread.
+    size_t approx_size() const {
+        return size_.load(std::memory_order_relaxed);
+    }
+
+    // Any thread. False when a capacity is set and the queue is full;
+    // the element is not consumed. The release store on the
+    // predecessor's link publishes `value`'s bytes to the consumer's
+    // acquire load in try_pop.
+    bool try_push(T& value) {
+        if (capacity_ != 0
+            && size_.load(std::memory_order_relaxed) >= capacity_)
+            return false;
+        size_.fetch_add(1, std::memory_order_relaxed);
+        Node* n = new Node;
+        n->value = std::move(value);
+        Node* prev = tail_.exchange(n, std::memory_order_acq_rel);
+        prev->next.store(n, std::memory_order_release);
+        return true;
+    }
+
+    // Any thread. Blocks (spin + yield) under backpressure until the
+    // consumer makes room; wait-free when no capacity is set.
     void push(T value) {
+        while (!try_push(value))
+            std::this_thread::yield();
+    }
+
+    // Any thread; ignores the capacity. The shard tier applies
+    // backpressure only at the client boundary: a worker forwarding
+    // cross-shard frames must never block, or two full mailboxes could
+    // deadlock a worker pair pushing at each other (§12).
+    void push_force(T value) {
+        size_.fetch_add(1, std::memory_order_relaxed);
         Node* n = new Node;
         n->value = std::move(value);
         Node* prev = tail_.exchange(n, std::memory_order_acq_rel);
@@ -61,7 +113,17 @@ class MpscQueue {
         Node* old = head_;
         head_ = next;
         delete old;
+        size_.fetch_sub(1, std::memory_order_relaxed);
         return true;
+    }
+
+    // Consumer thread only: the element try_pop would return, without
+    // consuming it — how the shard scheduler reads a queued frame's
+    // virtual-time stamp before deciding to run it. Null when nothing is
+    // linked.
+    const T* peek() const {
+        Node* next = head_->next.load(std::memory_order_acquire);
+        return next ? &next->value : nullptr;
     }
 
   private:
@@ -74,6 +136,8 @@ class MpscQueue {
     // cache lines so pops do not bounce the producers' line.
     alignas(64) std::atomic<Node*> tail_;
     alignas(64) Node* head_;
+    alignas(64) std::atomic<size_t> size_{0};
+    size_t capacity_ = 0;  // 0 == unbounded
 };
 
 }  // namespace pequod

@@ -205,8 +205,39 @@ void Server::add_join(const std::string& spec) {
 }
 
 void Server::put(Str key, Str value) {
+    assert_owner();
     write(key, value, nullptr);
 }
+
+// One WriteHint threaded through the whole batch: a frame full of posts
+// into the same table routes once and appends near the previous insert.
+void Server::put_batch(const std::vector<std::pair<std::string,
+                                                   std::string>>& items) {
+    assert_owner();
+    WriteHint hint;
+    for (const auto& kv : items)
+        write(kv.first, kv.second, &hint);
+}
+
+void Server::bind_owner_thread() {
+#if PEQUOD_VALIDATE
+    owner_ = std::this_thread::get_id();
+    owner_bound_ = true;
+#endif
+}
+
+void Server::unbind_owner_thread() {
+#if PEQUOD_VALIDATE
+    owner_bound_ = false;
+#endif
+}
+
+#if PEQUOD_VALIDATE
+void Server::assert_owner() const {
+    if (owner_bound_ && owner_ != std::this_thread::get_id())
+        throw InvariantError("Server accessed off its bound owner thread");
+}
+#endif
 
 // Hint fast path: reuse the previous write's table when the key provably
 // belongs there (prefixes never nest, so a prefix match is ownership),
@@ -216,8 +247,14 @@ Table* Server::route(Str key, WriteHint* hint) {
         && key.starts_with(hint->table->prefix()))
         return hint->table;
     Table* t = &table_for(key);
-    if (hint)
+    if (hint) {
+        // The store-level hint indexes into the previous table's trees;
+        // crossing tables (a batch mixing "s|" and "p|" keys, say) must
+        // drop it or the insert lands in the wrong store.
+        if (hint->table != t)
+            hint->store = Store::Hint();
         hint->table = t;
+    }
     return t;
 }
 
@@ -265,6 +302,7 @@ Entry* Server::write_emitted(Str key, const Entry& src, WriteHint* hint) {
 }
 
 void Server::scan_impl(Str lo, Str hi, const ScanRef& f) {
+    assert_owner();
     // Freshen every maintained sink the range overlaps; a scan may span
     // several tables (or tables plus unrouted keys).
     for (auto it = first_overlapping(lo);

@@ -29,6 +29,10 @@
 #include <string>
 #include <vector>
 
+#if PEQUOD_VALIDATE
+#include <thread>
+#endif
+
 #include "common/base.hh"
 #include "common/fnref.hh"
 #include "common/str.hh"
@@ -74,6 +78,24 @@ class Server {
     void add_join(const std::string& spec);
 
     void put(Str key, Str value);
+
+    // The shard worker's batched drain entry (§12): apply a decoded
+    // frame's puts in arrival order, reusing one WriteHint across the
+    // batch so consecutive writes into the same table skip the directory
+    // lookup and most of the tree descent. Exactly equivalent to calling
+    // put() per item.
+    void put_batch(const std::vector<std::pair<std::string,
+                                               std::string>>& items);
+
+    // Single-owner discipline (§12): a shard worker claims its Server by
+    // calling this from the worker thread. In checked builds
+    // (-DPEQUOD_VALIDATE=ON) every subsequent put and scan asserts it
+    // runs on the owning thread; unbound servers (all existing callers)
+    // are never checked, and release builds carry no check at all.
+    // unbind_owner_thread() releases the claim (a worker shutting down),
+    // returning the server to the unchecked state.
+    void bind_owner_thread();
+    void unbind_owner_thread();
 
     // Visit entries in [lo, hi) in key order, materializing join output
     // first when needed. f(const std::string& key, const ValuePtr&).
@@ -195,6 +217,12 @@ class Server {
                       bool inserted);
     void pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f);
 
+#if PEQUOD_VALIDATE
+    void assert_owner() const;
+#else
+    void assert_owner() const {}
+#endif
+
     ServerConfig config_;
     Table root_;       // keys under no routed prefix
     TableMap tables_;  // by prefix; prefixes never nest, so the directory
@@ -205,6 +233,10 @@ class Server {
     uint64_t stat_materializations_ = 0;
     uint64_t stat_source_rows_ = 0;
     uint64_t stat_invalidations_ = 0;
+#if PEQUOD_VALIDATE
+    std::thread::id owner_;
+    bool owner_bound_ = false;
+#endif
 };
 
 }  // namespace pequod

@@ -1,9 +1,12 @@
-// Message frames for inter-server and client traffic (DESIGN.md §7, §10).
-// Every frame is varint-framed over net::Buffer: a varint type tag, then
-// length-prefixed strings (and a varint item count for batched frames).
-// The distribution layer routes these through net::Network, whose
-// message and byte counters are what the benches report as modeled
-// traffic; encode/decode is a genuine round-trip, not an estimate.
+// Message frames for inter-server and client traffic (DESIGN.md §7, §10,
+// §12). Every frame is varint-framed over net::Buffer: a varint type tag,
+// then length-prefixed strings (and a varint item count for batched
+// frames). The distribution layer routes these through net::Network,
+// whose message and byte counters are what the benches report as modeled
+// traffic; encode/decode is a genuine round-trip, not an estimate. The
+// shard tier (§12) carries the same format through MPSC mailboxes,
+// packing several messages per frame with encode_batch/decode_batch so
+// one mailbox wake amortizes across a pipeline of operations.
 //
 // Delivery metadata (§10): notify frames carry the sending base server's
 // generation (bumped on restart), the subscriber epoch they were stamped
@@ -48,16 +51,24 @@ struct Message {
     uint64_t epoch = 0;  // subscriber epoch (kSubscribe/kNotify/kBackfill/
                          // kPing)
     uint64_t seq = 0;    // per-link notify sequence (kNotify); the next
-                         // live sequence baseline (kBackfill/kPong)
+                         // live sequence baseline (kBackfill/kPong); the
+                         // client's operation ticket (kPut/kScan/
+                         // kScanReply, §12) echoed on the completion path
 };
 
 inline void encode_message(Buffer& b, const Message& m) {
     b.write_varint(static_cast<uint64_t>(m.type));
     switch (m.type) {
     case MsgType::kPut:
+        b.write_string(m.key);
+        b.write_string(m.value);
+        b.write_varint(m.seq);
+        break;
     case MsgType::kScan:
         b.write_string(m.key);
         b.write_string(m.value);
+        b.write_varint(m.seq);
+        b.write_varint(m.epoch);  // §12: nonzero marks a broadcast slice
         break;
     case MsgType::kSubscribe:
         b.write_string(m.key);
@@ -65,6 +76,7 @@ inline void encode_message(Buffer& b, const Message& m) {
         b.write_varint(m.epoch);
         break;
     case MsgType::kScanReply:
+        b.write_varint(m.seq);
         b.write_varint(m.items.size());
         for (const auto& kv : m.items) {
             b.write_string(kv.first);
@@ -107,9 +119,15 @@ inline bool decode_message(Buffer& b, Message& m) {
     m.gen = m.epoch = m.seq = 0;
     switch (m.type) {
     case MsgType::kPut:
+        m.key = b.read_string();
+        m.value = b.read_string();
+        m.seq = b.read_varint();
+        break;
     case MsgType::kScan:
         m.key = b.read_string();
         m.value = b.read_string();
+        m.seq = b.read_varint();
+        m.epoch = b.read_varint();
         break;
     case MsgType::kSubscribe:
         m.key = b.read_string();
@@ -122,6 +140,8 @@ inline bool decode_message(Buffer& b, Message& m) {
         if (m.type != MsgType::kScanReply) {
             m.gen = b.read_varint();
             m.epoch = b.read_varint();
+            m.seq = b.read_varint();
+        } else {
             m.seq = b.read_varint();
         }
         uint64_t n = b.read_varint();
@@ -143,6 +163,33 @@ inline bool decode_message(Buffer& b, Message& m) {
         m.gen = b.read_varint();
         m.seq = b.read_varint();
         break;
+    }
+    return true;
+}
+
+// ---- multi-frame batching (§12) --------------------------------------------
+//
+// A batch is back-to-back message frames until the buffer is exhausted.
+// Messages are self-delimiting, so batches build incrementally — a
+// sender coalescing notify fan-out appends one encode_message at a time
+// and ships whatever accumulated when it flushes, with no count header
+// to patch. The shard tier's mailboxes carry one encoded batch per
+// element, so a worker wake drains a pipeline of operations.
+
+inline void encode_batch(Buffer& b, const std::vector<Message>& msgs) {
+    for (const Message& m : msgs)
+        encode_message(b, m);
+}
+
+// Appends the decoded messages to `out`. False (leaving `out` with
+// whatever decoded cleanly) when a frame fails to decode; an exhausted
+// buffer ends the batch normally.
+inline bool decode_batch(Buffer& b, std::vector<Message>& out) {
+    while (b.remaining() != 0) {
+        Message m;
+        if (!decode_message(b, m))
+            return false;
+        out.push_back(std::move(m));
     }
     return true;
 }

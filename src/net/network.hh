@@ -20,6 +20,7 @@
 #define PEQUOD_NET_NETWORK_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -57,6 +58,11 @@ struct FaultConfig {
     }
 };
 
+// A point-in-time snapshot of the network's counters. Plain integers, so
+// tests and benches keep reading `stats().messages` as before; the live
+// counters behind it are relaxed atomics (AtomicNetStats below), making
+// stats() safe to call from a monitoring thread while shard workers
+// drive traffic — the chaos suite reads fault counters mid-run (§12).
 struct NetStats {
     uint64_t messages = 0;
     uint64_t bytes = 0;
@@ -68,6 +74,40 @@ struct NetStats {
     uint64_t partition_drops = 0;    // severed by a partition
     uint64_t crash_drops = 0;        // destination endpoint crashed
     uint64_t decode_failures = 0;    // undecodable frames discarded
+};
+
+// The live counters. Relaxed ordering throughout: each counter is an
+// independent statistic, never used to publish other memory, so the only
+// guarantee needed is that concurrent bumps don't tear or get lost. A
+// snapshot taken mid-run may split a logically-simultaneous pair (a
+// message counted, its bytes not yet) — monitoring tolerance, by design.
+struct AtomicNetStats {
+    std::atomic<uint64_t> messages{0};
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> messages_by_type[kMsgTypeCount] = {};
+    std::atomic<uint64_t> frames_dropped{0};
+    std::atomic<uint64_t> frames_duplicated{0};
+    std::atomic<uint64_t> frames_delayed{0};
+    std::atomic<uint64_t> partition_drops{0};
+    std::atomic<uint64_t> crash_drops{0};
+    std::atomic<uint64_t> decode_failures{0};
+
+    NetStats snapshot() const {
+        NetStats s;
+        s.messages = messages.load(std::memory_order_relaxed);
+        s.bytes = bytes.load(std::memory_order_relaxed);
+        for (int i = 0; i != kMsgTypeCount; ++i)
+            s.messages_by_type[i] =
+                messages_by_type[i].load(std::memory_order_relaxed);
+        s.frames_dropped = frames_dropped.load(std::memory_order_relaxed);
+        s.frames_duplicated =
+            frames_duplicated.load(std::memory_order_relaxed);
+        s.frames_delayed = frames_delayed.load(std::memory_order_relaxed);
+        s.partition_drops = partition_drops.load(std::memory_order_relaxed);
+        s.crash_drops = crash_drops.load(std::memory_order_relaxed);
+        s.decode_failures = decode_failures.load(std::memory_order_relaxed);
+        return s;
+    }
 };
 
 class Network {
@@ -90,11 +130,11 @@ class Network {
                 return 0;
             const FaultConfig& fc = link_faults(from, to);
             if (chance(fc.drop)) {
-                ++stats_.frames_dropped;
+                stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
                 return 0;
             }
             if (chance(fc.duplicate)) {
-                ++stats_.frames_duplicated;
+                stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
                 Buffer copy = b;
                 dispatch(from, to, std::move(copy));
             }
@@ -114,11 +154,11 @@ class Network {
         if (faults_configured_) {
             const FaultConfig& fc = link_faults(from, to);
             if (chance(fc.drop)) {
-                ++stats_.frames_dropped;
+                stats_.frames_dropped.fetch_add(1, std::memory_order_relaxed);
                 return bytes;
             }
             if (chance(fc.duplicate)) {
-                ++stats_.frames_duplicated;
+                stats_.frames_duplicated.fetch_add(1, std::memory_order_relaxed);
                 enqueue(from, to, Buffer(b), fc);
             }
             enqueue(from, to, std::move(b), fc);
@@ -152,8 +192,11 @@ class Network {
         return any;
     }
 
-    const NetStats& stats() const {
-        return stats_;
+    // A snapshot of the counters; safe from any thread while traffic
+    // flows (delivery itself is still single-threaded — only the
+    // counters are concurrent-read safe).
+    NetStats stats() const {
+        return stats_.snapshot();
     }
 
     // ---- fault schedule --------------------------------------------------
@@ -225,9 +268,10 @@ class Network {
     };
 
     size_t account(MsgType type, size_t bytes) {
-        ++stats_.messages;
-        stats_.bytes += bytes;
-        ++stats_.messages_by_type[static_cast<int>(type)];
+        stats_.messages.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+        stats_.messages_by_type[static_cast<int>(type)].fetch_add(
+            1, std::memory_order_relaxed);
         return bytes;
     }
 
@@ -245,11 +289,11 @@ class Network {
     bool transit_allowed(int from, int to) {
         if (crashed_.at(static_cast<size_t>(to))
             || crashed_.at(static_cast<size_t>(from))) {
-            ++stats_.crash_drops;
+            stats_.crash_drops.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
         if (!blocked_.empty() && link_blocked(from, to)) {
-            ++stats_.partition_drops;
+            stats_.partition_drops.fetch_add(1, std::memory_order_relaxed);
             return false;
         }
         return true;
@@ -258,7 +302,7 @@ class Network {
     void enqueue(int from, int to, Buffer&& b, const FaultConfig& fc) {
         uint64_t ready = round_;
         if (chance(fc.delay)) {
-            ++stats_.frames_delayed;
+            stats_.frames_delayed.fetch_add(1, std::memory_order_relaxed);
             ready += 1
                 + rng_.below(static_cast<uint64_t>(
                     fc.max_delay_rounds > 0 ? fc.max_delay_rounds : 1));
@@ -273,7 +317,7 @@ class Network {
         if (!decode_message(b, m)) {
             if (strict_decode_)
                 throw std::runtime_error("network: undecodable frame");
-            ++stats_.decode_failures;
+            stats_.decode_failures.fetch_add(1, std::memory_order_relaxed);
             return;
         }
         endpoints_.at(static_cast<size_t>(to))->deliver(from, std::move(m),
@@ -282,7 +326,7 @@ class Network {
 
     std::vector<Endpoint*> endpoints_;
     std::deque<Frame> queue_;
-    NetStats stats_;
+    AtomicNetStats stats_;
     uint64_t round_ = 0;
     // Fault state. faults_configured_ stays false until any setter runs,
     // keeping the fault-free hot path a single predictable branch.

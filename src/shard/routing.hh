@@ -1,0 +1,66 @@
+// Key-space routing for the multi-shard server (DESIGN.md §12). The
+// shard unit is the *routing group*: a key's table tag plus its first
+// '|'-terminated component — "t|u000017|" for a timeline key, "p|u000003|"
+// for a post. Grouping at that granularity keeps every per-user range
+// (one user's subscriptions, posts, or timeline) on a single shard, so
+// the Twip hot ops route to exactly one mailbox, while users themselves
+// spread across shards by hash. The same component rule the distribution
+// tier uses for its base servers (distrib::Cluster::home_base), applied
+// peer-to-peer.
+//
+// All functions run on Str views and allocate nothing except
+// shard_for_range's successor bound (a scan-time call, not per-write).
+#ifndef PEQUOD_SHARD_ROUTING_HH
+#define PEQUOD_SHARD_ROUTING_HH
+
+#include "common/base.hh"
+#include "common/str.hh"
+
+namespace pequod {
+namespace shard {
+
+// The key's routing group: its prefix through the second '|' when one
+// exists (the group is then *closed* — every key in it shares the
+// prefix), else the whole key (an *open* group: "s|u1" could still grow
+// a "s|u10|..." sibling that groups elsewhere).
+inline Str routing_group(Str key) {
+    size_t bar = key.find('|');
+    if (bar == Str::npos)
+        return key;
+    size_t end = key.find('|', bar + 1);
+    return key.prefix(end == Str::npos ? key.size() : end + 1);
+}
+
+// The shard owning `key`: FNV hash of its routing group, mod the shard
+// count. Consistent across writes, scans, and subscription routing.
+inline int shard_of(Str key, int nshards) {
+    return static_cast<int>(routing_group(key).hash()
+                            % static_cast<uint64_t>(nshards));
+}
+
+// Whether `key`'s routing group is closed: both '|' separators present,
+// so no longer key can name a different group while sharing this
+// prefix. A bare table prefix ("t|") or a separator-free key is open.
+inline bool group_closed(Str key) {
+    size_t bar = key.find('|');
+    return bar != Str::npos && key.find('|', bar + 1) != Str::npos;
+}
+
+// The single shard owning all of [lo, hi), or -1 when the range may
+// span routing groups (the caller broadcasts, and each shard filters
+// results to the keys it owns). Single ownership requires lo to name a
+// closed group and hi to stay at or below the group's exclusive
+// successor bound.
+inline int shard_for_range(Str lo, Str hi, int nshards) {
+    if (!group_closed(lo) || hi.empty())
+        return -1;
+    std::string bound = prefix_successor(routing_group(lo));
+    if (!bound.empty() && hi <= Str(bound))
+        return shard_of(lo, nshards);
+    return -1;
+}
+
+}  // namespace shard
+}  // namespace pequod
+
+#endif

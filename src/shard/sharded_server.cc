@@ -1,0 +1,569 @@
+// ShardedServer implementation (DESIGN.md §12). Single-owner rule: all
+// state inside a ShardState is touched only by its worker thread (or by
+// the one driving thread in inline mode); the MpscQueue mailboxes are
+// the only cross-thread hand-off, and every hand-off is an encoded
+// frame. Client-facing queues (completions, scan replies) are MPSC the
+// other way: workers produce, the client's thread consumes.
+#include "shard/sharded_server.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/base.hh"
+
+namespace pequod {
+namespace shard {
+
+namespace {
+
+// Owned copy of a Str for protocol bookkeeping (subscription registry,
+// replicated-range set) — cold-path captures, off the per-op path.
+std::string owned(Str s) {
+    std::string out;
+    out.assign(s.data(), s.size());
+    return out;
+}
+
+}  // namespace
+
+// ---- ShardClient -----------------------------------------------------------
+
+uint64_t ShardClient::submit_put(Str key, Str value) {
+    uint64_t ticket = next_ticket_++;
+    net::Message m;
+    m.type = net::MsgType::kPut;
+    m.key.assign(key.data(), key.size());
+    m.value.assign(value.data(), value.size());
+    m.seq = ticket;
+    int s = shard_of(key, static_cast<int>(batches_.size()));
+    net::encode_message(batches_[static_cast<size_t>(s)], m);
+    ++pending_ops_;
+    return ticket;
+}
+
+uint64_t ShardClient::submit_scan(Str lo, Str hi) {
+    uint64_t ticket = next_ticket_++;
+    net::Message m;
+    m.type = net::MsgType::kScan;
+    m.key.assign(lo.data(), lo.size());
+    m.value.assign(hi.data(), hi.size());
+    m.seq = ticket;
+    int nshards = static_cast<int>(batches_.size());
+    int s = shard_for_range(lo, hi, nshards);
+    if (s >= 0) {
+        net::encode_message(batches_[static_cast<size_t>(s)], m);
+        last_scan_frames_ = 1;
+    } else {
+        // Spans routing groups: every shard serves its owned slice.
+        m.epoch = 1;
+        for (int d = 0; d != nshards; ++d)
+            net::encode_message(batches_[static_cast<size_t>(d)], m);
+        last_scan_frames_ = nshards;
+    }
+    ++pending_ops_;
+    return ticket;
+}
+
+void ShardClient::flush(uint64_t stamp) {
+    for (size_t s = 0; s != batches_.size(); ++s) {
+        if (batches_[s].size() == 0)
+            continue;
+        Frame f;
+        f.from = ShardedServer::encode_client(id_);
+        f.stamp = stamp;
+        f.buf = std::move(batches_[s]);
+        batches_[s] = net::Buffer();
+        owner_->shard_mailbox(static_cast<int>(s)).push(std::move(f));
+    }
+    pending_ops_ = 0;
+}
+
+// ---- ShardedServer ---------------------------------------------------------
+
+ShardedServer::ShardedServer(const ShardConfig& config) : config_(config) {
+    if (config_.shards < 1)
+        throw std::invalid_argument("ShardedServer needs >= 1 shard");
+    for (int s = 0; s != config_.shards; ++s) {
+        shards_.push_back(std::make_unique<ShardState>(config_.server));
+        ShardState& st = *shards_.back();
+        st.mailbox.set_capacity(config_.mailbox_capacity);
+        st.pending_notify.resize(static_cast<size_t>(config_.shards));
+        st.staged.shard_frames.resize(static_cast<size_t>(config_.shards));
+        install_joins(st.server);
+        st.server.set_source_observer([this, s](Str lo, Str hi) {
+            will_scan_source(s, lo, hi);
+        });
+    }
+}
+
+ShardedServer::~ShardedServer() {
+    if (threaded_)
+        stop();
+}
+
+void ShardedServer::install_joins(Server& server) {
+    const std::string& joins = config_.joins;
+    size_t pos = 0;
+    while (pos < joins.size()) {
+        size_t semi = joins.find(';', pos);
+        if (semi == std::string::npos)
+            semi = joins.size();
+        if (semi > pos)
+            server.add_join(joins.substr(pos, semi - pos));  // pqlint: allow(hot-string)
+        pos = semi + 1;
+    }
+}
+
+ShardClient& ShardedServer::make_client() {
+    if (threaded_)
+        throw std::logic_error("make_client after start()");
+    int id = static_cast<int>(clients_.size());
+    clients_.push_back(std::unique_ptr<ShardClient>(
+        new ShardClient(this, id, config_.shards)));
+    return *clients_.back();
+}
+
+MpscQueue<Frame>& ShardedServer::shard_mailbox(int s) {
+    return shards_[static_cast<size_t>(s)]->mailbox;
+}
+
+void ShardedServer::load(Str key, Str value) {
+    shards_[static_cast<size_t>(shard_of(key, config_.shards))]
+        ->server.put(key, value);
+}
+
+// ---- frame application -----------------------------------------------------
+
+bool ShardedServer::has_work(int s) const {
+    const ShardState& st = *shards_[static_cast<size_t>(s)];
+    return st.mailbox.approx_size() != 0 || !st.deferred.empty()
+        || st.pending_notify_total != 0;
+}
+
+const Frame* ShardedServer::peek_frame(int s) const {
+    const ShardState& st = *shards_[static_cast<size_t>(s)];
+    if (!st.deferred.empty())
+        return &st.deferred.front();
+    return st.mailbox.peek();
+}
+
+bool ShardedServer::step(int s) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    Frame f;
+    bool worked = false;
+    if (!st.deferred.empty()) {
+        f = std::move(st.deferred.front());
+        st.deferred.pop_front();
+        apply_frame(s, std::move(f), false);
+        worked = true;
+    } else if (st.mailbox.try_pop(f)) {
+        apply_frame(s, std::move(f), false);
+        worked = true;
+    } else if (st.pending_notify_total != 0) {
+        flush_all_pending(s);
+        return true;
+    } else {
+        return false;
+    }
+    // Coalescing boundary: fan-out accumulated while frames kept
+    // arriving; once the mailbox runs dry, wake the subscribers.
+    if (st.pending_notify_total != 0 && st.deferred.empty()
+        && st.mailbox.approx_size() == 0)
+        flush_all_pending(s);
+    return worked;
+}
+
+void ShardedServer::apply_frame(int s, Frame&& frame, bool in_wait_loop) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    ++st.stats.frames;
+    net::Message m;
+    while (net::decode_message(frame.buf, m)) {
+        ++st.stats.messages;
+        apply_message(s, frame.from, std::move(m));
+        (void)in_wait_loop;
+    }
+}
+
+void ShardedServer::apply_message(int s, int from, net::Message&& m) {
+    switch (m.type) {
+    case net::MsgType::kPut:
+        handle_client_put(s, -1 - from, std::move(m));
+        break;
+    case net::MsgType::kScan:
+        handle_client_scan(s, -1 - from, std::move(m));
+        break;
+    case net::MsgType::kSubscribe:
+        handle_subscribe(s, from, m);
+        break;
+    case net::MsgType::kNotify:
+        handle_notify(s, std::move(m));
+        break;
+    case net::MsgType::kBackfill: {
+        // Only reachable in the threaded wait loop (the inline path
+        // applies backfills synchronously). Any outstanding nonce may
+        // complete here — nested waits see outer backfills — while a
+        // nonce nobody is waiting on is a stale reply and is dropped.
+        ShardState& st = *shards_[static_cast<size_t>(s)];
+        if (st.waiting_nonces.erase(m.epoch)) {
+            st.server.put_batch(m.items);
+            st.stats.notify_items_applied += m.items.size();
+            st.completed_nonces.insert(m.epoch);
+        }
+        break;
+    }
+    default:
+        break;  // kPing/kPong/kScanReply never target a shard
+    }
+}
+
+void ShardedServer::handle_client_put(int s, int client, net::Message&& m) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    st.server.put(m.key, m.value);
+    ++st.stats.client_puts;
+    if (config_.log_applied)
+        st.applied_puts.emplace_back(m.key, m.value);
+    stage_notifies(s, m.key, m.value);
+    st.staged.completions.emplace_back(client, Completion{m.seq, 0});
+}
+
+void ShardedServer::handle_client_scan(int s, int client, net::Message&& m) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    ++st.stats.client_scans;
+    net::Message reply;
+    reply.type = net::MsgType::kScanReply;
+    reply.seq = m.seq;
+    if (m.epoch == 0) {
+        st.server.scan(m.key, m.value,
+                       [&reply](const std::string& k, const ValuePtr& v) {
+                           reply.items.emplace_back(k, *v);
+                       });
+    } else {
+        // Broadcast slice: serve only the keys this shard owns, so
+        // replicated source ranges are reported once (by their owner),
+        // never per replica.
+        ++st.stats.broadcast_scans;
+        int self = s, nshards = config_.shards;
+        st.server.scan(m.key, m.value,
+                       [&reply, self, nshards](const std::string& k,
+                                               const ValuePtr& v) {
+                           if (shard_of(k, nshards) == self)
+                               reply.items.emplace_back(k, *v);
+                       });
+    }
+    net::Buffer out;
+    net::encode_message(out, reply);
+    st.staged.client_replies.emplace_back(client, std::move(out));
+}
+
+// Owner side of a subscription: register the range, then reply with its
+// current contents (filtered to owned keys — under a broadcast subscribe
+// this shard holds replicas of foreign groups, which the subscriber must
+// get from their owner, not from us).
+void ShardedServer::handle_subscribe(int s, int from, const net::Message& m) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    ++st.stats.subscribes_served;
+    std::string regkey = owned(m.key);
+    regkey += '\x01';
+    regkey += owned(m.value);
+    regkey += '\x01';
+    regkey += std::to_string(from);
+    if (st.registered.insert(std::move(regkey)).second)
+        st.subscriptions.insert(owned(m.key), owned(m.value),
+                                static_cast<uint32_t>(from));
+    net::Message reply;
+    reply.type = net::MsgType::kBackfill;
+    reply.epoch = m.epoch;  // echo the requester's nonce
+    int self = s, nshards = config_.shards;
+    st.server.scan(m.key, m.value,
+                   [&reply, self, nshards](const std::string& k,
+                                           const ValuePtr& v) {
+                       if (shard_of(k, nshards) == self)
+                           reply.items.emplace_back(k, *v);
+                   });
+    st.stats.backfill_items += reply.items.size();
+    if (threaded_) {
+        // The requester is blocked in its wait loop; bypass staging.
+        Frame f;
+        f.from = s;
+        net::encode_message(f.buf, reply);
+        shards_[static_cast<size_t>(from)]->mailbox.push_force(std::move(f));
+    } else {
+        // Inline: hand the decoded round-tripped reply straight to the
+        // requester (still a real encode/decode, for wire fidelity).
+        net::Buffer wire;
+        net::encode_message(wire, reply);
+        net::Message applied;
+        net::decode_message(wire, applied);
+        ShardState& sub = *shards_[static_cast<size_t>(from)];
+        sub.server.put_batch(applied.items);
+        sub.stats.notify_items_applied += applied.items.size();
+    }
+}
+
+void ShardedServer::handle_notify(int s, net::Message&& m) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    st.server.put_batch(m.items);
+    st.stats.notify_items_applied += m.items.size();
+}
+
+// Subscriber side: fired by the engine before it consults a source
+// range. Anything remote and not yet replicated gets subscribed now,
+// synchronously, so the scan that triggered this sees fresh data.
+void ShardedServer::will_scan_source(int s, Str lo, Str hi) {
+    if (config_.shards == 1)
+        return;
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    int owner = shard_for_range(lo, hi, config_.shards);
+    if (owner == s)
+        return;
+    if (st.replicated.covers(lo, hi))
+        return;
+    if (owner >= 0) {
+        subscribe_to(s, owner, lo, hi);
+    } else {
+        // The range spans routing groups; every peer may own part.
+        for (int d = 0; d != config_.shards; ++d)
+            if (d != s)
+                subscribe_to(s, d, lo, hi);
+    }
+    st.replicated.add(owned(lo), owned(hi));
+}
+
+void ShardedServer::subscribe_to(int s, int owner, Str lo, Str hi) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    ++st.stats.subscribes_sent;
+    net::Message sub;
+    sub.type = net::MsgType::kSubscribe;
+    sub.key.assign(lo.data(), lo.size());
+    sub.value.assign(hi.data(), hi.size());
+    sub.epoch = st.next_nonce++;
+    if (!threaded_) {
+        // Single driving thread: the owner's handler runs to completion
+        // right here (its cost lands in this shard's service time — the
+        // simulation charges remote materialization to the requester).
+        net::Buffer wire;
+        net::encode_message(wire, sub);
+        net::Message decoded;
+        net::decode_message(wire, decoded);
+        handle_subscribe(owner, s, decoded);
+        return;
+    }
+    // Threaded: frame the request, then serve our own mailbox while
+    // blocked so two shards subscribing to each other both progress.
+    // Client frames are deferred (they could start a nested
+    // materialization); protocol frames — peers' subscribes, notifies,
+    // our backfill — are applied immediately. Notify/backfill puts
+    // re-enter the engine mid-scan, which the source-observer contract
+    // explicitly permits.
+    Frame f;
+    f.from = s;
+    net::encode_message(f.buf, sub);
+    shards_[static_cast<size_t>(owner)]->mailbox.push_force(std::move(f));
+    st.waiting_nonces.insert(sub.epoch);
+    while (!st.completed_nonces.count(sub.epoch)) {
+        Frame in;
+        if (!st.mailbox.try_pop(in)) {
+            std::this_thread::yield();
+            continue;
+        }
+        if (in.from < 0) {
+            st.deferred.push_back(std::move(in));
+            continue;
+        }
+        apply_frame(s, std::move(in), true);
+        release_now(s);  // a served subscribe's reply must ship now
+    }
+    st.completed_nonces.erase(sub.epoch);
+}
+
+// ---- notify fan-out --------------------------------------------------------
+
+void ShardedServer::stage_notifies(int s, Str key, Str value) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    if (st.subscriptions.empty())
+        return;
+    std::vector<uint32_t>& hits = st.stab_scratch;
+    hits.clear();
+    st.subscriptions.stab(key, [&hits](const uint32_t& dest) {
+        hits.push_back(dest);
+    });
+    if (hits.empty())
+        return;
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    for (uint32_t dest : hits) {
+        auto& pending = st.pending_notify[dest];
+        pending.emplace_back(owned(key), owned(value));
+        ++st.pending_notify_total;
+        if (pending.size() >= config_.notify_batch_items)
+            flush_pending_notify(s, static_cast<int>(dest));
+    }
+}
+
+void ShardedServer::flush_pending_notify(int s, int dest) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    auto& pending = st.pending_notify[static_cast<size_t>(dest)];
+    if (pending.empty())
+        return;
+    net::Message m;
+    m.type = net::MsgType::kNotify;
+    m.items = std::move(pending);
+    pending.clear();
+    st.pending_notify_total -= m.items.size();
+    ++st.stats.notify_frames_sent;
+    st.stats.notify_items_sent += m.items.size();
+    stage_message(s, dest, m);
+}
+
+void ShardedServer::flush_all_pending(int s) {
+    for (int d = 0; d != config_.shards; ++d)
+        flush_pending_notify(s, d);
+}
+
+void ShardedServer::stage_message(int s, int dest, const net::Message& m) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    net::encode_message(st.staged.shard_frames[static_cast<size_t>(dest)], m);
+}
+
+// ---- staged output ---------------------------------------------------------
+
+void ShardedServer::release_staged(int s, uint64_t vt) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    for (size_t d = 0; d != st.staged.shard_frames.size(); ++d) {
+        net::Buffer& b = st.staged.shard_frames[d];
+        if (b.size() == 0)
+            continue;
+        Frame f;
+        f.from = s;
+        f.stamp = vt;
+        f.buf = std::move(b);
+        b = net::Buffer();
+        shards_[d]->mailbox.push_force(std::move(f));
+    }
+    for (auto& reply : st.staged.client_replies) {
+        Frame f;
+        f.from = s;
+        f.stamp = vt;
+        f.buf = std::move(reply.second);
+        clients_[static_cast<size_t>(reply.first)]->replies_.push_force(
+            std::move(f));
+    }
+    st.staged.client_replies.clear();
+    for (auto& c : st.staged.completions) {
+        Completion done = c.second;
+        done.vt = vt;
+        clients_[static_cast<size_t>(c.first)]->completions_.push_force(done);
+    }
+    st.staged.completions.clear();
+}
+
+void ShardedServer::release_now(int s) {
+    release_staged(s, 0);
+}
+
+// ---- worker threads --------------------------------------------------------
+
+void ShardedServer::start() {
+    if (threaded_)
+        return;
+    threaded_ = true;
+    stopping_.store(false, std::memory_order_relaxed);
+    for (int s = 0; s != config_.shards; ++s)
+        workers_.emplace_back([this, s]() { worker_loop(s); });
+}
+
+void ShardedServer::worker_loop(int s) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    st.server.bind_owner_thread();
+    for (;;) {
+        if (has_work(s)) {
+            // Busy for the whole step, including any blocking subscribe
+            // wait inside it — wait_idle must not mistake a worker
+            // parked on a peer's backfill for a finished one, or stop()
+            // could let that peer exit and strand the waiter (§12).
+            st.idle.store(false, std::memory_order_relaxed);
+            if (step(s)) {
+                release_now(s);
+                st.progress.fetch_add(1, std::memory_order_release);
+            }
+            continue;
+        }
+        st.idle.store(true, std::memory_order_release);
+        if (stopping_.load(std::memory_order_acquire))
+            break;
+        std::this_thread::yield();
+    }
+    st.server.unbind_owner_thread();
+}
+
+void ShardedServer::wait_idle() {
+    // Quiescence = twice in a row, every shard idle with an empty
+    // mailbox AND no step completed anywhere since the previous scan.
+    // The idle flags alone are not enough: a frame can be produced and
+    // fully consumed between two flag reads, leaving every flag true
+    // while its side effects (staged frames to a third shard) are still
+    // propagating. Any such step bumps a progress counter, so requiring
+    // the summed counter stable across scans closes that window: at the
+    // instant a passing scan starts, no worker is mid-step (all flags
+    // true), none completed a step since the last scan, and no client
+    // is submitting (stop()'s contract) — nothing can create new work.
+    uint64_t last_progress = 0;
+    for (auto& sp : shards_)
+        last_progress += sp->progress.load(std::memory_order_acquire);
+    int stable = 0;
+    while (stable < 2) {
+        bool quiet = true;
+        for (auto& sp : shards_) {
+            if (!sp->idle.load(std::memory_order_acquire)
+                || sp->mailbox.approx_size() != 0)
+                quiet = false;
+        }
+        uint64_t progress = 0;
+        for (auto& sp : shards_)
+            progress += sp->progress.load(std::memory_order_acquire);
+        if (quiet && progress == last_progress)
+            ++stable;
+        else
+            stable = 0;
+        last_progress = progress;
+        std::this_thread::yield();
+    }
+}
+
+std::string ShardedServer::debug_state() const {
+    std::string out;
+    char line[256];
+    for (size_t s = 0; s != shards_.size(); ++s) {
+        const ShardState& st = *shards_[s];
+        std::snprintf(
+            line, sizeof line,
+            "shard %zu: mailbox=%zu deferred=%zu waiting_nonces=%zu "
+            "pending_notify=%zu idle=%d frames=%llu puts=%llu scans=%llu "
+            "subs_sent=%llu subs_served=%llu notify_applied=%llu\n",
+            s, st.mailbox.approx_size(), st.deferred.size(),
+            st.waiting_nonces.size(), st.pending_notify_total,
+            st.idle.load(std::memory_order_relaxed) ? 1 : 0,
+            static_cast<unsigned long long>(st.stats.frames),
+            static_cast<unsigned long long>(st.stats.client_puts),
+            static_cast<unsigned long long>(st.stats.client_scans),
+            static_cast<unsigned long long>(st.stats.subscribes_sent),
+            static_cast<unsigned long long>(st.stats.subscribes_served),
+            static_cast<unsigned long long>(st.stats.notify_items_applied));
+        out += line;
+    }
+    return out;
+}
+
+void ShardedServer::stop() {
+    if (!threaded_)
+        return;
+    wait_idle();
+    stopping_.store(true, std::memory_order_release);
+    for (auto& t : workers_)
+        t.join();
+    workers_.clear();
+    threaded_ = false;
+}
+
+}  // namespace shard
+}  // namespace pequod

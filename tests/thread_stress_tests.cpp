@@ -10,12 +10,14 @@
 //     path is supposed to be read-only (DESIGN.md §11); if any hidden
 //     mutation remains — a stats bump, a lazily-built cache — TSan
 //     flags the two shared_lock readers touching it concurrently.
-//  3. The sharding prototype: N worker threads, each owning a private
-//     Server and fed through its own MpscQueue by several producers.
-//     Workers log the order they consumed ops in; the test replays
-//     that exact order into a sequential oracle Server and demands an
-//     identical final state, proving the mailbox neither drops,
-//     duplicates, nor tears operations.
+//  3. The real ShardedServer (src/shard/) under worker threads: several
+//     producer clients drive puts and scans — including cross-shard
+//     follows, so the subscribe/backfill/notify protocol runs hot —
+//     through bounded mailboxes. Each shard logs the client puts it
+//     applied, in order; the test replays those logs into a sequential
+//     oracle Server and demands identical per-user timelines, proving
+//     the mailboxes neither drop, duplicate, nor tear operations and
+//     that cross-shard fan-out converges to the one-server semantics.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -30,6 +32,7 @@
 #include "common/base.hh"
 #include "common/mpsc_queue.hh"
 #include "core/server.hh"
+#include "shard/sharded_server.hh"
 
 namespace pequod {
 namespace {
@@ -180,135 +183,145 @@ TEST(ThreadStress, ReadersVsWriterOverMaterializedServer) {
     server.verify();
 }
 
-// One sharded operation: a put or a scan routed to the shard that owns
-// the user, or a stop sentinel ending a producer's stream.
-struct ShardOp {
-    enum Kind : uint8_t { kPut, kScan, kStop };
-    Kind kind = kStop;
-    std::string key;
-    std::string value;
-};
-
 TEST(ThreadStress, ShardedServersMatchSequentialReplay) {
     constexpr int kShards = 3;
     constexpr int kProducers = 3;
-    constexpr int kOpsPerProducer = 300;
-    constexpr int kUsersPerShard = 4;
+    constexpr int kOpsPerProducer = 250;
+    constexpr int kUsers = 12;
 
-    // Users are partitioned across shards (uid % kShards) and only follow
-    // users on their own shard, so every op is shard-local — the
-    // cross-shard fan-out protocol is ROADMAP item 2's problem, not this
-    // harness's.
-    auto user_name = [](int shard, int slot) {
-        return "u" + std::to_string(slot * kShards + shard);
-    };
+    auto user_name = [](int u) { return "u" + std::to_string(u); };
 
-    struct Shard {
-        Server server;
-        MpscQueue<ShardOp> queue;
-        std::vector<ShardOp> consumed;
-    };
-    std::vector<std::unique_ptr<Shard>> shards;
-    for (int s = 0; s != kShards; ++s) {
-        shards.push_back(std::make_unique<Shard>());
-        shards.back()->server.add_join(kTimelineJoin);
+    shard::ShardConfig cfg;
+    cfg.shards = kShards;
+    cfg.joins = kTimelineJoin;
+    // Bounded mailboxes so producer flushes hit real backpressure, and a
+    // small notify batch so fan-out flushes early and often under TSan.
+    cfg.mailbox_capacity = 8;
+    cfg.notify_batch_items = 4;
+    cfg.log_applied = true;
+    shard::ShardedServer ss(cfg);
+
+    std::vector<shard::ShardClient*> clients;
+    for (int p = 0; p != kProducers; ++p)
+        clients.push_back(&ss.make_client());
+
+    // Follow edges hash users to arbitrary shards, so most timelines
+    // have at least one remote poster and the subscribe/backfill/notify
+    // protocol carries real traffic. The oracle gets the same preload.
+    Server oracle;
+    oracle.add_join(kTimelineJoin);
+    uint64_t seed_ts = 0;
+    for (int u = 0; u != kUsers; ++u)
+        for (int f : {1, 5}) {
+            std::string k =
+                "s|" + user_name(u) + "|" + user_name((u + f) % kUsers);
+            ss.load(k, "1");
+            oracle.put(k, "1");
+        }
+    for (int u = 0; u != kUsers; ++u) {
+        std::string k =
+            "p|" + user_name(u) + "|" + pad_number(++seed_ts, 10);
+        ss.load(k, "seed");
+        oracle.put(k, "seed");
     }
 
-    std::vector<std::thread> workers;
-    for (int s = 0; s != kShards; ++s)
-        workers.emplace_back([&shards, s]() {
-            Shard& shard = *shards[s];
-            int stops = 0;
-            // Per-producer FIFO means each producer's stop sentinel
-            // arrives after all its real ops; once every producer's stop
-            // is in, the stream is complete.
-            while (stops != kProducers) {
-                ShardOp op;
-                if (!shard.queue.try_pop(op)) {
-                    std::this_thread::yield();
-                    continue;
-                }
-                if (op.kind == ShardOp::kStop) {
-                    ++stops;
-                    continue;
-                }
-                if (op.kind == ShardOp::kPut)
-                    shard.server.put(op.key, op.value);
-                else
-                    shard.server.scan(op.key, prefix_successor(op.key),
-                                      [](const std::string&,
-                                         const ValuePtr&) {});
-                shard.consumed.push_back(std::move(op));
-            }
-        });
+    ss.start();
 
     std::vector<std::thread> producers;
     for (int p = 0; p != kProducers; ++p)
-        producers.emplace_back([&shards, p, user_name]() {
+        producers.emplace_back([&clients, p, user_name]() {
+            shard::ShardClient& client = *clients[static_cast<size_t>(p)];
             std::mt19937 rng(100u + static_cast<unsigned>(p));
-            uint64_t ts = static_cast<uint64_t>(p) * 1000000;
+            // Per-producer timestamp ranges keep post keys globally
+            // unique without coordination.
+            uint64_t ts = 1000000u + static_cast<uint64_t>(p) * 1000000u;
+            uint64_t puts_outstanding = 0;
+            uint64_t replies_outstanding = 0;
+            shard::Completion done;
+            shard::Frame reply;
             for (int i = 0; i != kOpsPerProducer; ++i) {
-                int shard = static_cast<int>(rng() % kShards);
-                int slot = static_cast<int>(rng() % kUsersPerShard);
-                std::string user = user_name(shard, slot);
-                ShardOp op;
+                int u = static_cast<int>(rng() % kUsers);
+                std::string user = user_name(u);
                 switch (rng() % 4) {
                 case 0:
-                    op.kind = ShardOp::kPut;
-                    op.key = "s|" + user + "|"
-                        + user_name(shard,
-                                    static_cast<int>(rng() % kUsersPerShard));
-                    op.value = "1";
+                    client.submit_put(
+                        "s|" + user + "|"
+                            + user_name(static_cast<int>(rng() % kUsers)),
+                        "1");
+                    ++puts_outstanding;
                     break;
-                case 1:
-                    op.kind = ShardOp::kScan;
-                    op.key = "t|" + user + "|";
-                    break;
-                default:
-                    op.kind = ShardOp::kPut;
-                    op.key = "p|" + user + "|" + pad_number(++ts, 10);
-                    op.value = "post by " + user;
+                case 1: {
+                    std::string lo = "t|" + user + "|";
+                    client.submit_scan(lo, prefix_successor(lo));
+                    replies_outstanding += static_cast<uint64_t>(
+                        client.frames_for_last_scan());
                     break;
                 }
-                shards[static_cast<size_t>(shard)]->queue.push(std::move(op));
+                default:
+                    client.submit_put("p|" + user + "|"
+                                          + pad_number(++ts, 10),
+                                      "post by " + user);
+                    ++puts_outstanding;
+                    break;
+                }
+                // Ship every few ops so frames carry real batches; the
+                // flush blocks when a mailbox is at capacity.
+                if (client.pending_ops() >= 3)
+                    client.flush();
+                while (client.poll_completion(done))
+                    --puts_outstanding;
+                while (client.poll_reply(reply))
+                    --replies_outstanding;
             }
-            for (auto& shard : shards)
-                shard->queue.push(ShardOp{});  // kStop
+            client.flush();
+            while (puts_outstanding != 0 || replies_outstanding != 0) {
+                bool progressed = false;
+                while (client.poll_completion(done)) {
+                    --puts_outstanding;
+                    progressed = true;
+                }
+                while (client.poll_reply(reply)) {
+                    --replies_outstanding;
+                    progressed = true;
+                }
+                if (!progressed)
+                    std::this_thread::yield();
+            }
         });
 
     for (auto& t : producers)
         t.join();
-    for (auto& t : workers)
-        t.join();
+    ss.stop();
 
-    // Replay each shard's consumed order into a fresh sequential server;
-    // scans replay too, since materialization timing affects stats and
-    // entry counts. The final states must be bit-for-bit equal.
+    // The protocol must actually have run: cross-shard materializations
+    // subscribed, and later posts flowed through as notifies.
+    uint64_t subscribes = 0, notify_applied = 0;
     for (int s = 0; s != kShards; ++s) {
-        Shard& shard = *shards[static_cast<size_t>(s)];
-        Server oracle;
-        oracle.add_join(kTimelineJoin);
-        for (const ShardOp& op : shard.consumed) {
-            if (op.kind == ShardOp::kPut)
-                oracle.put(op.key, op.value);
-            else
-                oracle.scan(op.key, prefix_successor(op.key),
-                            [](const std::string&, const ValuePtr&) {});
-        }
-        std::vector<std::pair<std::string, std::string>> got, want;
-        shard.server.scan(Str(), Str(),
-                          [&](const std::string& k, const ValuePtr& v) {
-                              got.emplace_back(k, *v);
-                          });
-        oracle.scan(Str(), Str(),
-                    [&](const std::string& k, const ValuePtr& v) {
-                        want.emplace_back(k, *v);
-                    });
-        EXPECT_EQ(got, want) << "shard " << s << " diverged from its oracle";
-        EXPECT_EQ(shard.server.memory_stats().entry_count,
-                  oracle.memory_stats().entry_count);
-        shard.server.verify();
+        subscribes += ss.stats(s).subscribes_sent;
+        notify_applied += ss.stats(s).notify_items_applied;
     }
+    EXPECT_GT(subscribes, 0u);
+    EXPECT_GT(notify_applied, 0u);
+
+    // Replay each shard's applied-put log, in shard order, into the
+    // oracle. Every key routes to exactly one shard, so per-key order is
+    // preserved and the oracle's final base state matches the cluster's.
+    for (int s = 0; s != kShards; ++s)
+        for (const auto& kv : ss.applied_puts(s))
+            oracle.put(kv.first, kv.second);
+
+    // Compare per-user timelines, each read from the shard that owns it.
+    // (Entry counts are not comparable: shards hold replicas of remote
+    // source ranges the oracle stores once.)
+    for (int u = 0; u != kUsers; ++u) {
+        std::string user = user_name(u);
+        int home = shard::shard_of(Str("t|" + user + "|"), kShards);
+        EXPECT_EQ(timeline(ss.server(home), user), timeline(oracle, user))
+            << "timeline diverged for " << user;
+    }
+    for (int s = 0; s != kShards; ++s)
+        ss.server(s).verify();
+    oracle.verify();
 }
 
 }  // namespace

@@ -54,7 +54,7 @@ RULES = ("str-member", "hot-string", "intervalmap-mutation",
 SANCTIONED_STR_OWNERS = {"OwnedSlots", "KeyBuf", "Entry"}
 
 # Directories (relative to the scan root) whose files form the hot path.
-HOT_DIRS = ("store", "core", "common")
+HOT_DIRS = ("store", "core", "common", "shard")
 
 ALLOW_RE = re.compile(r"pqlint:\s*allow\(([a-z\-,\s]+)\)")
 

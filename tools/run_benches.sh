@@ -11,7 +11,8 @@
 #
 # Smoke parameters (CI-sized; the paper-scale runs are documented in
 # DESIGN.md §9) can be overridden with FIG7_ARGS / FIG9_ARGS /
-# SHARING_ARGS / FAULTS_ARGS, or skipped entirely with SKIP_FIGS=1.
+# SHARING_ARGS / FAULTS_ARGS / SHARD_ARGS, or skipped entirely with
+# SKIP_FIGS=1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +24,9 @@ FIG7_ARGS=${FIG7_ARGS:-"400 12"}
 FIG9_ARGS=${FIG9_ARGS:-"3000"}
 SHARING_ARGS=${SHARING_ARGS:-"400 10"}
 FAULTS_ARGS=${FAULTS_ARGS:-"400 4 --seed 1"}
+# Shard scaling wants a graph big enough that per-shard load stays
+# balanced; 60k users keeps the CI run under a couple of minutes.
+SHARD_ARGS=${SHARD_ARGS:-"60000 4000 60000 --shards 1,2,4,8"}
 
 if [ ! -x "$BIN" ]; then
     echo "error: benchmark binary '$BIN' not found (build with cmake first)" >&2
@@ -34,7 +38,9 @@ FIG7_RAW=$(mktemp)
 FIG9_RAW=$(mktemp)
 SHARING_RAW=$(mktemp)
 FAULTS_RAW=$(mktemp)
-trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" "$FAULTS_RAW"' EXIT
+SHARD_RAW=$(mktemp)
+trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" "$FAULTS_RAW" \
+     "$SHARD_RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
 
 # A missing figure harness used to be skipped silently, which made the
@@ -51,23 +57,24 @@ require_bench() {
 
 if [ "${SKIP_FIGS:-0}" != "1" ]; then
     for b in fig7_system_comparison fig9_interleaved \
-             ablation_value_sharing fig_faults; do
+             ablation_value_sharing fig_faults fig_shard_scaling; do
         require_bench "$b"
     done
     "$BENCH_DIR/fig7_system_comparison" $FIG7_ARGS > "$FIG7_RAW"
     "$BENCH_DIR/fig9_interleaved" $FIG9_ARGS > "$FIG9_RAW"
     "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
     "$BENCH_DIR/fig_faults" $FAULTS_ARGS > "$FAULTS_RAW"
+    "$BENCH_DIR/fig_shard_scaling" $SHARD_ARGS > "$SHARD_RAW"
 fi
 
 python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" \
-    "$FAULTS_RAW" <<'EOF'
+    "$FAULTS_RAW" "$SHARD_RAW" <<'EOF'
 import json
 import re
 import sys
 
 (raw_path, out_path, fig7_path, fig9_path, sharing_path,
- faults_path) = sys.argv[1:7]
+ faults_path, shard_path) = sys.argv[1:8]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -127,6 +134,27 @@ for line in open(faults_path):
             "stale_during_partition": int(m.group(3)),
             "stale_after_convergence": int(m.group(4)),
         }
+
+# Shard scaling: "shards=4 qps=792434 p50_us=2.5 p99_us=105.3" per
+# shard count; speedup is derived against the 1-shard (first) row.
+shard = {}
+baseline_qps = None
+for line in open(shard_path):
+    m = re.match(
+        r"^shards=(\d+) qps=(\d+) p50_us=(\d+\.\d+) p99_us=(\d+\.\d+)$",
+        line)
+    if m:
+        qps = float(m.group(2))
+        if baseline_qps is None:
+            baseline_qps = qps
+        shard[m.group(1)] = {
+            "qps": qps,
+            "speedup": round(qps / baseline_qps, 2),
+            "p50_us": float(m.group(3)),
+            "p99_us": float(m.group(4)),
+        }
+if shard:
+    figures["fig_shard_scaling"] = shard
 
 out = {
     "context": {
