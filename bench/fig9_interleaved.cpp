@@ -6,7 +6,11 @@
 // rates (single scan vs many gets per article read); the crossover where
 // precomputation costs overtake the saved gets sits near 90%.
 //
-//   ./build/bench/fig9_interleaved [sessions]
+//   ./build/bench/fig9_interleaved [sessions [vote_rate_step]]
+//
+// The optional step coarsens the sweep (e.g. 25 runs 0,25,50,75,100):
+// the smoke test uses it to stay inside the sanitizer jobs' budget while
+// still crossing the high-vote-rate regime.
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,6 +22,11 @@ int main(int argc, char** argv) {
     apps::NewpConfig cfg;
     cfg.sessions =
         argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 30000;
+    int step = argc > 2 ? std::atoi(argv[2]) : 10;
+    if (step < 1 || step > 100) {
+        std::fprintf(stderr, "vote_rate_step must be in [1, 100]\n");
+        return 1;
+    }
     cfg.users = 1000;
     cfg.articles = 2000;
     cfg.prepopulate_comments = 20000;
@@ -31,7 +40,7 @@ int main(int argc, char** argv) {
                 "rates (crossover ~90%%)\n\n");
     std::printf("%-12s %18s %18s %10s\n", "vote rate%", "non-interleaved(s)",
                 "interleaved(s)", "winner");
-    for (int rate = 0; rate <= 100; rate += 10) {
+    for (int rate = 0; rate <= 100; rate += step) {
         cfg.vote_rate = rate / 100.0;
         auto non = apps::run_newp(cfg, false);
         auto inter = apps::run_newp(cfg, true);

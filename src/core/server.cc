@@ -207,6 +207,8 @@ void Server::add_join(const std::string& spec) {
 void Server::put(Str key, Str value) {
     assert_owner();
     write(key, value, nullptr);
+    if (write_observer_)
+        write_observer_(key, value);
 }
 
 // One WriteHint threaded through the whole batch: a frame full of posts
@@ -215,8 +217,11 @@ void Server::put_batch(const std::vector<std::pair<std::string,
                                                    std::string>>& items) {
     assert_owner();
     WriteHint hint;
-    for (const auto& kv : items)
+    for (const auto& kv : items) {
         write(kv.first, kv.second, &hint);
+        if (write_observer_)
+            write_observer_(kv.first, kv.second);
+    }
 }
 
 void Server::bind_owner_thread() {

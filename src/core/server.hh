@@ -67,6 +67,12 @@ class Server {
     // the common no-op observation allocates nothing (§8).
     using SourceObserver = std::function<void(Str lo, Str hi)>;
 
+    // Called for every *client-origin* write — put() and put_batch() —
+    // and never for join emission or eager fan-out: derived entries are
+    // recomputable, so the durability tier logs exactly this stream
+    // (DESIGN.md §13). Str views are valid only during the call.
+    using WriteObserver = std::function<void(Str key, Str value)>;
+
     Server() : Server(ServerConfig()) {}
     explicit Server(const ServerConfig& config)
         : config_(config), root_("", config.store.enable_subtables) {}
@@ -111,6 +117,22 @@ class Server {
 
     void set_source_observer(SourceObserver observer) {
         observer_ = std::move(observer);
+    }
+
+    void set_write_observer(WriteObserver observer) {
+        write_observer_ = std::move(observer);
+    }
+
+    // Visit stored entries in [lo, hi) in key order with *no*
+    // materialization, no freshening, and no observer calls — exactly
+    // the bytes present in the stores. The checkpointing path uses this
+    // (restricted to base-table ranges) to snapshot durable state
+    // without perturbing what is cached. f(const std::string&, const
+    // Entry&).
+    template <typename F>
+    void scan_stored(Str lo, Str hi, F&& f) {
+        RawRef ref(f);
+        raw_scan(lo, hi, ref);
     }
 
     // Declare [lo, hi) suspect (§10): erase the cached entries, tear
@@ -229,6 +251,7 @@ class Server {
                        // is also the block order for merged scans
     std::vector<std::unique_ptr<Updater>> updaters_;
     SourceObserver observer_;
+    WriteObserver write_observer_;
     uint64_t stat_eager_updates_ = 0;
     uint64_t stat_materializations_ = 0;
     uint64_t stat_source_rows_ = 0;

@@ -80,21 +80,83 @@ size_t Node::post(int to, const net::Message& m) {
 // ---- BaseServer -------------------------------------------------------------
 
 BaseServer::BaseServer(Cluster& cluster) : Node(cluster) {
-    for (const std::string& prefix : cluster.config().base_tables)
-        engine_.set_subtable_components(prefix, 1);
+    init_engine();
+    if (cluster_.config().persist.enabled()) {
+        open_persistence();
+        recover_from_disk();
+    }
+}
+
+void BaseServer::init_engine() {
+    engine_ = std::make_unique<Server>();
+    for (const std::string& prefix : cluster_.config().base_tables)
+        engine_->set_subtable_components(prefix, 1);
+}
+
+void BaseServer::open_persistence() {
+    persist::PersistConfig pc = cluster_.config().persist;
+    pc.dir += "/base-" + std::to_string(id_);
+    persist_ = std::make_unique<persist::Persistence>(pc);
+}
+
+void BaseServer::recover_from_disk() {
+    // Replay durable state straight into the engine, then start logging.
+    // The observer is installed only after replay so recovered puts are
+    // not re-journaled; the base tier never logs erases, so the erase
+    // callback cannot fire.
+    last_recovery_ = persist_->recover(
+        [this](Str key, Str value) {
+            engine_->put(key, value);
+        },
+        [](Str, Str) {});
+    gen_ = last_recovery_.generation;
+    persist::Persistence* p = persist_.get();
+    engine_->set_write_observer([p](Str key, Str value) {
+        p->log_put(key, value);
+    });
 }
 
 void BaseServer::restart() {
-    // The source tables are durable; every subscriber relationship is
-    // not. The generation bump is what lets subscribers find out: the
-    // next frame they see from us (or the next heartbeat pong) carries a
-    // gen they have never met, and they invalidate and re-subscribe.
-    ++gen_;
+    // Every subscriber relationship dies with the process. The
+    // generation bump is what lets subscribers find out: the next frame
+    // they see from us (or the next heartbeat pong) carries a gen they
+    // have never met, and they invalidate and re-subscribe.
     subscriptions_.clear();
     registered_.clear();
     stab_scratch_.clear();
     live_seq_.clear();
     sub_epochs_.clear();
+    if (persist_) {
+        // Real recovery: a fresh engine rebuilt from checkpoint + WAL.
+        // Acked puts survive (they were flushed before their ack);
+        // un-acked tail records may not, exactly as §13 promises. The
+        // generation comes from the manifest's durable restart counter.
+        persist_.reset();
+        init_engine();
+        open_persistence();
+        recover_from_disk();
+    } else {
+        // In-memory simulation: the tables "survive" because nothing
+        // actually died.
+        ++gen_;
+    }
+}
+
+void BaseServer::power_fail() {
+    if (persist_)
+        persist_->simulate_crash();
+}
+
+bool BaseServer::checkpoint_now() {
+    if (!persist_)
+        return false;
+    return persist_->checkpoint([this](FnRef<void(Str, Str)> emit) {
+        engine_->scan_stored(Str(), Str(),
+                             [&emit](const std::string& key,
+                                     const Entry& e) {
+                                 emit(Str(key), Str(e.value()));
+                             });
+    });
 }
 
 uint64_t& BaseServer::live_seq(int compute_id) {
@@ -122,7 +184,13 @@ void BaseServer::handle(int from, net::Message&& m) {
 
 void BaseServer::handle_put(const std::string& key,
                             const std::string& value) {
-    engine_.put(key, value);
+    engine_->put(key, value);
+    // Sync-on-ack: the put's WAL record reaches the platter before the
+    // synchronous RPC returns, so an acknowledged write is by definition
+    // a durable write (§13). Group commit still batches what a single
+    // frame carried.
+    if (persist_)
+        persist_->flush();
     if (subscriptions_.empty())
         return;
     // One notification per subscribed compute server, even when several
@@ -167,7 +235,7 @@ void BaseServer::handle_subscribe(int from, const std::string& lo,
     reply.gen = gen_;
     reply.epoch = seen;
     reply.seq = live_seq(from);
-    engine_.scan(lo, hi, [&reply](const std::string& k, const ValuePtr& v) {
+    engine_->scan(lo, hi, [&reply](const std::string& k, const ValuePtr& v) {
         reply.items.emplace_back(k, *v);
     });
     send(from, reply);
@@ -576,6 +644,8 @@ Cluster::Cluster(const Config& config) : config_(config) {
     if (config_.base_servers < 1 || config_.compute_servers < 1)
         throw std::invalid_argument("cluster needs at least one server "
                                     "per tier");
+    if (config_.persist.enabled())
+        persist::make_dir(config_.persist.dir);
     // Endpoint ids: bases [0, B), computes [B, B + C), then the client.
     for (int i = 0; i < config_.base_servers; ++i)
         bases_.push_back(std::make_unique<BaseServer>(*this));
@@ -601,6 +671,9 @@ void Cluster::tick() {
 }
 
 void Cluster::crash_base(int i) {
+    // Power loss, not orderly shutdown: WAL records still in the group
+    // commit buffer are gone, exactly the ones whose puts never acked.
+    bases_[static_cast<size_t>(i)]->power_fail();
     net_.set_crashed(base(i).id(), true);
 }
 

@@ -37,6 +37,7 @@
 #include "common/rangeset.hh"
 #include "core/server.hh"
 #include "net/network.hh"
+#include "persist/persist.hh"
 
 namespace pequod {
 namespace distrib {
@@ -109,21 +110,44 @@ class Node : public net::Endpoint {
 // Owns shards of the source tables. Absorbs all writes; pushes each to
 // the compute servers subscribed to a containing range, stamped with
 // this base's generation and the per-link notify sequence so receivers
-// can detect loss. Source tables are treated as durable across a crash;
-// subscription state is not — computes notice the generation change and
-// re-subscribe.
+// can detect loss. With persistence configured (DESIGN.md §13) the
+// source tables are *actually* durable: every client put is WAL-logged
+// and flushed before the put returns (sync-on-ack), restart() rebuilds
+// the engine from checkpoint + WAL replay, and the generation is the
+// manifest's durable restart counter — so the §10 detectors fire off
+// real recovered state, not a simulation flag. Subscription state is
+// never persisted; computes notice the generation change and
+// re-subscribe. Without persistence the pre-§13 in-memory simulation is
+// unchanged.
 class BaseServer : public Node {
   public:
     explicit BaseServer(Cluster& cluster);
     const Server& engine() const {
-        return engine_;
+        return *engine_;
     }
     uint64_t generation() const {
         return gen_;
     }
-    // Simulated crash recovery: bump the generation and forget every
-    // subscriber; the durable source tables survive.
+    // Simulated crash recovery: forget every subscriber and bump the
+    // generation — by reloading durable state from disk when persistence
+    // is on, by incrementing the in-memory counter when it is off.
     void restart();
+    // Power loss: un-flushed WAL records are gone. No-op without
+    // persistence (Cluster::crash_base calls this).
+    void power_fail();
+    // Snapshot the base tables and truncate the WAL; false when
+    // persistence is off or the checkpoint failed verification.
+    bool checkpoint_now();
+    bool persistent() const {
+        return persist_ != nullptr;
+    }
+    // Stats of the most recent recovery (construction or restart).
+    const persist::RecoverResult& last_recovery() const {
+        return last_recovery_;
+    }
+    const persist::WalStats* wal_stats() const {
+        return persist_ ? &persist_->wal().stats() : nullptr;
+    }
 
   private:
     void handle(int from, net::Message&& m) override;
@@ -133,8 +157,13 @@ class BaseServer : public Node {
     void handle_ping(int from);
     // The per-link live notify sequence, lazily started at 1.
     uint64_t& live_seq(int compute_id);
+    void init_engine();
+    void open_persistence();
+    void recover_from_disk();
 
-    Server engine_;
+    std::unique_ptr<Server> engine_;
+    std::unique_ptr<persist::Persistence> persist_;
+    persist::RecoverResult last_recovery_;
     // Subscriptions are per-store routing state, not join maintenance,
     // so the map lives outside Table. pqlint: allow(intervalmap-mutation)
     IntervalMap<int> subscriptions_;   // subscribed range -> compute id
@@ -275,6 +304,11 @@ class Cluster {
         int retry_budget = 8;
         uint64_t backoff_base_ticks = 1;
         uint64_t backoff_max_ticks = 16;
+        // Durability (§13): when persist.dir is non-empty, each base
+        // server journals to <dir>/base-<i> and recovers from it on
+        // restart. Compute servers never persist — their state is
+        // derived and rebuilds on demand.
+        persist::PersistConfig persist;
     };
 
     explicit Cluster(const Config& config);
@@ -298,6 +332,11 @@ class Cluster {
     // (durable tables survive), restart_compute comes back blank.
     void crash_base(int i);
     void restart_base(int i);
+    // Checkpoint base server i's tables (no-op false without
+    // persistence).
+    bool checkpoint_base(int i) {
+        return bases_[static_cast<size_t>(i)]->checkpoint_now();
+    }
     void crash_compute(int i);
     void restart_compute(int i);
     bool base_crashed(int i) const;

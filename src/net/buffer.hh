@@ -46,6 +46,21 @@ class Buffer {
         data_.insert(data_.end(), s.begin(), s.end());
     }
 
+    // Raw byte append, for framing layers (the WAL) that wrap an
+    // already-encoded payload with a length prefix and a checksum.
+    void write_bytes(const uint8_t* p, size_t n) {
+        data_.insert(data_.end(), p, p + n);
+    }
+
+    // Fixed-width little-endian u32 — checksums are fixed-width on disk
+    // so a torn tail cannot shorten the field that detects it.
+    void write_u32(uint32_t v) {
+        data_.push_back(static_cast<uint8_t>(v));
+        data_.push_back(static_cast<uint8_t>(v >> 8));
+        data_.push_back(static_cast<uint8_t>(v >> 16));
+        data_.push_back(static_cast<uint8_t>(v >> 24));
+    }
+
     std::string read_string() {
         uint64_t n = read_varint();
         if (n > data_.size() - pos_)

@@ -1,0 +1,296 @@
+#include "persist/blockstore.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "persist/crc32c.hh"
+
+namespace pequod {
+namespace persist {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50514231u;  // "PQB1"
+constexpr size_t kBlockHeaderBytes = 8;   // crc u32 + payload_len u32
+
+uint32_t load_u32(const uint8_t* p) {
+    return static_cast<uint32_t>(p[0])
+        | static_cast<uint32_t>(p[1]) << 8
+        | static_cast<uint32_t>(p[2]) << 16
+        | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void store_u32(uint8_t* p, uint32_t v) {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+// Frame `payload` into a block_size-sized block: CRC field, length
+// field, payload, zero padding. The CRC covers everything after itself
+// — length, payload, *and* padding — so a flip at any byte offset of
+// the block is detected.
+void frame_block(std::vector<uint8_t>& block, size_t block_size,
+                 const uint8_t* payload, size_t n) {
+    block.assign(block_size, 0);
+    store_u32(block.data() + 4, static_cast<uint32_t>(n));
+    if (n != 0)
+        std::memcpy(block.data() + kBlockHeaderBytes, payload, n);
+    store_u32(block.data(), crc32c(block.data() + 4, block_size - 4));
+}
+
+// Verify a raw block and extract its payload; false on CRC mismatch or
+// an impossible length field.
+bool unframe_block(const std::vector<uint8_t>& block,
+                   std::vector<uint8_t>& payload, uint32_t& crc) {
+    if (block.size() < kBlockHeaderBytes)
+        return false;
+    crc = load_u32(block.data());
+    if (crc32c(block.data() + 4, block.size() - 4) != crc)
+        return false;
+    size_t n = load_u32(block.data() + 4);
+    if (n > block.size() - kBlockHeaderBytes)
+        return false;
+    payload.assign(block.begin() + static_cast<long>(kBlockHeaderBytes),
+                   block.begin() + static_cast<long>(kBlockHeaderBytes + n));
+    return true;
+}
+
+bool read_varint_at(const std::vector<uint8_t>& b, size_t& pos,
+                    uint64_t& out) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (pos < b.size() && shift < 64) {
+        uint8_t c = b[pos++];
+        v |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80)) {
+            out = v;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+}  // namespace
+
+// ---- BlockWriter ------------------------------------------------------------
+
+BlockWriter::BlockWriter(const std::string& path, size_t block_size)
+    : path_(path), block_size_(block_size), file_(File::create(path)) {
+    if (block_size_ < kBlockHeaderBytes + 16)
+        throw std::invalid_argument("block size too small");
+    // Reserve block 0 for the header, written at finish() once the
+    // block count is known. Until then the slot is zeros, which cannot
+    // pass the CRC — a crashed half-written checkpoint is detected as
+    // readily as a corrupted one.
+    std::vector<uint8_t> zeros(block_size_, 0);
+    file_.write_all(zeros.data(), zeros.size());
+}
+
+BlockWriter::~BlockWriter() {
+    // An unfinished writer leaves a file with a zeroed (invalid) header;
+    // readers treat it as absent.
+}
+
+void BlockWriter::add(Str key, Str value) {
+    net::Buffer pair;
+    pair.write_string(key);
+    pair.write_string(value);
+    size_t capacity = block_size_ - kBlockHeaderBytes;
+    if (pair.size() > capacity)
+        throw std::invalid_argument("entry exceeds block capacity");
+    if (payload_.size() + pair.size() > capacity)
+        seal_block();
+    payload_.write_bytes(pair.data(), pair.size());
+    ++entries_;
+}
+
+void BlockWriter::seal_block() {
+    std::vector<uint8_t> block;
+    frame_block(block, block_size_, payload_.data(), payload_.size());
+    file_.write_all(block.data(), block.size());
+    payload_.clear();
+    ++blocks_;
+}
+
+uint64_t BlockWriter::finish() {
+    if (finished_)
+        return entries_;
+    if (payload_.size() != 0)
+        seal_block();
+    // Data blocks reach the platter before the header points at them.
+    file_.fsync();
+    net::Buffer h;
+    h.write_u32(kMagic);
+    h.write_varint(block_size_);
+    h.write_varint(blocks_);
+    h.write_varint(entries_);
+    std::vector<uint8_t> block;
+    frame_block(block, block_size_, h.data(), h.size());
+    file_.pwrite_all(block.data(), block.size(), 0);
+    file_.fsync();
+    file_.close();
+    finished_ = true;
+    return entries_;
+}
+
+// ---- BlockStore -------------------------------------------------------------
+
+BlockStore::BlockStore(const BlockStoreConfig& config) : config_(config) {
+    file_ = File::read_if_exists(config_.path);
+    if (!file_.is_open())
+        return;
+    read_header();
+}
+
+void BlockStore::read_header() {
+    std::vector<uint8_t> block(config_.block_size);
+    if (file_.pread_some(block.data(), block.size(), 0) != block.size())
+        return;
+    std::vector<uint8_t> payload;
+    uint32_t crc = 0;
+    if (!unframe_block(block, payload, crc))
+        return;
+    size_t pos = 0;
+    if (payload.size() < 4 || load_u32(payload.data()) != kMagic)
+        return;
+    pos = 4;
+    uint64_t bs = 0;
+    if (!read_varint_at(payload, pos, bs) || bs != config_.block_size)
+        return;
+    if (!read_varint_at(payload, pos, block_count_)
+        || !read_varint_at(payload, pos, entry_count_))
+        return;
+    ok_ = true;
+}
+
+bool BlockStore::fetch_from_disk(uint64_t index,
+                                 std::vector<uint8_t>& payload,
+                                 uint32_t& crc) {
+    raw_.resize(config_.block_size);
+    uint64_t offset = (index + 1) * config_.block_size;  // +1: header
+    if (file_.pread_some(raw_.data(), raw_.size(), offset) != raw_.size())
+        return false;
+    return unframe_block(raw_, payload, crc);
+}
+
+const std::vector<uint8_t>* BlockStore::read_block(uint64_t index) {
+    if (!ok_ || index >= block_count_)
+        return nullptr;
+    bool was_cached_corrupt = false;
+    auto it = index_.find(index);
+    if (it != index_.end()) {
+        CachedBlock& cb = *it->second;
+        // Revalidate the cached copy against the payload checksum it
+        // entered with (corruption detection is the cache's contract,
+        // not just the disk's).
+        if (crc32c(cb.bytes.data(), cb.bytes.size()) == cb.crc) {
+            ++stats_.hits;
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return &it->second->bytes;
+        }
+        // The cached bytes rotted (or were scribbled on): drop the copy
+        // and fall through to the disk, which is the origin of truth.
+        ++stats_.corrupt_cached;
+        was_cached_corrupt = true;
+        stats_.cached_bytes -= cb.bytes.size();
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    ++stats_.misses;
+    std::vector<uint8_t> payload;
+    uint32_t frame_crc = 0;
+    if (!fetch_from_disk(index, payload, frame_crc)) {
+        ++stats_.corrupt_disk;
+        return nullptr;
+    }
+    if (was_cached_corrupt)
+        ++stats_.cache_rereads;
+    insert_cached(index, std::move(payload));
+    PQ_AUTOVALIDATE(verify());
+    return &lru_.front().bytes;
+}
+
+void BlockStore::insert_cached(uint64_t index,
+                               std::vector<uint8_t>&& payload) {
+    lru_.push_front(CachedBlock{index,
+                                crc32c(payload.data(), payload.size()),
+                                std::move(payload)});
+    index_[index] = lru_.begin();
+    stats_.cached_bytes += lru_.front().bytes.size();
+    while (stats_.cached_bytes > config_.cache_budget && lru_.size() > 1)
+        evict_lru();
+}
+
+void BlockStore::evict_lru() {
+    CachedBlock& victim = lru_.back();
+    // Checksum-on-evict (§11, checked builds): a block leaving the
+    // cache must still match the checksum it entered with; silent decay
+    // would otherwise go unnoticed until (if ever) it is re-read.
+    PQ_AUTOVALIDATE(
+        invariant(crc32c(victim.bytes.data(), victim.bytes.size())
+                      == victim.crc,
+                  "BlockStore", "cached block corrupt at eviction"));
+    stats_.cached_bytes -= victim.bytes.size();
+    ++stats_.evictions;
+    index_.erase(victim.index);
+    lru_.pop_back();
+}
+
+bool BlockStore::scan(FnRef<void(Str key, Str value)> f) {
+    if (!ok_)
+        return false;
+    for (uint64_t b = 0; b != block_count_; ++b) {
+        const std::vector<uint8_t>* payload = read_block(b);
+        if (!payload)
+            return false;
+        size_t pos = 0;
+        while (pos < payload->size()) {
+            uint64_t klen = 0, vlen = 0;
+            if (!read_varint_at(*payload, pos, klen)
+                || klen > payload->size() - pos)
+                return false;  // cannot happen on a CRC-valid block
+            Str key(reinterpret_cast<const char*>(payload->data()) + pos,
+                    static_cast<size_t>(klen));
+            pos += static_cast<size_t>(klen);
+            if (!read_varint_at(*payload, pos, vlen)
+                || vlen > payload->size() - pos)
+                return false;
+            Str value(reinterpret_cast<const char*>(payload->data()) + pos,
+                      static_cast<size_t>(vlen));
+            pos += static_cast<size_t>(vlen);
+            f(key, value);
+        }
+    }
+    return true;
+}
+
+void BlockStore::verify() const {
+    if (lru_.size() != index_.size())
+        invariant_fail("BlockStore", "LRU list and index disagree on size");
+    uint64_t bytes = 0;
+    for (const CachedBlock& cb : lru_) {
+        auto it = index_.find(cb.index);
+        if (it == index_.end() || &*it->second != &cb)
+            invariant_fail("BlockStore", "cached block missing from index");
+        if (crc32c(cb.bytes.data(), cb.bytes.size()) != cb.crc)
+            invariant_fail("BlockStore", "cached block fails its checksum");
+        bytes += cb.bytes.size();
+    }
+    if (bytes != stats_.cached_bytes)
+        invariant_fail("BlockStore", "cached_bytes accounting drifted");
+    // One-block slack: a single block may exceed the budget on its own
+    // and is never evicted (the cache always admits the working block).
+    if (lru_.size() > 1 && stats_.cached_bytes > config_.cache_budget)
+        invariant_fail("BlockStore", "LRU byte budget exceeded");
+}
+
+std::vector<uint8_t>* BlockStore::cached_bytes_for_test(uint64_t index) {
+    auto it = index_.find(index);
+    return it == index_.end() ? nullptr : &it->second->bytes;
+}
+
+}  // namespace persist
+}  // namespace pequod

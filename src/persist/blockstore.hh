@@ -1,0 +1,158 @@
+// Checksummed block storage for base-table checkpoints (DESIGN.md §13),
+// patterned on QuackStore's cache file: fixed-size blocks, each carrying
+// a CRC32C over its contents, read through an LRU cache with a byte
+// budget. Corruption is a detected condition, not undefined behavior:
+//
+//  - a cached block whose in-memory bytes no longer match its checksum
+//    (bit rot, a stray write) is dropped and re-read from disk — the
+//    checkpoint file is the origin, the cache merely a copy;
+//  - a disk block whose stored checksum fails is reported to the caller
+//    (read_block returns null, scan returns false) and its bytes are
+//    never handed out — the recovery orchestration falls back to the
+//    previous checkpoint plus a longer WAL replay instead of serving
+//    garbage.
+//
+// Block layout: [crc32c u32][payload_len u32][payload][zero padding] in
+// exactly block_size bytes; the CRC covers everything after itself, so
+// a flip anywhere in the block — length field, payload, or padding — is
+// detected. Block 0 is the header (magic, block size, block count, entry
+// count), checksummed the same way. The payload is a run of varint
+// length-prefixed key/value pairs; a pair never spans blocks.
+#ifndef PEQUOD_PERSIST_BLOCKSTORE_HH
+#define PEQUOD_PERSIST_BLOCKSTORE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fnref.hh"
+#include "common/str.hh"
+#include "common/validate.hh"
+#include "net/buffer.hh"
+#include "persist/io.hh"
+
+namespace pequod {
+namespace persist {
+
+struct BlockStoreConfig {
+    std::string path;
+    size_t block_size = 4096;
+    // LRU budget for cached block bytes. At least one block is always
+    // cached (a budget below block_size still admits the working block).
+    size_t cache_budget = 64 * 4096;
+};
+
+struct BlockCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t cached_bytes = 0;
+    uint64_t corrupt_cached = 0;  // cached copy failed its CRC; re-read
+    uint64_t corrupt_disk = 0;    // disk block failed its CRC; reported
+    uint64_t cache_rereads = 0;   // recoveries: corrupt cache, clean disk
+};
+
+// Streams key/value pairs into a checksummed block file. finish() seals
+// the file (header + fsync); the result is not readable before that.
+class BlockWriter {
+  public:
+    BlockWriter(const std::string& path, size_t block_size);
+    ~BlockWriter();
+
+    // Throws std::invalid_argument when one pair exceeds a block's
+    // payload capacity — the fixed-block format's documented limit.
+    void add(Str key, Str value);
+    // Seal: pad the last block, write the header, fsync. Returns the
+    // entry count. No-op when called twice.
+    uint64_t finish();
+
+  private:
+    void seal_block();
+
+    std::string path_;
+    size_t block_size_;
+    File file_;
+    net::Buffer payload_;  // current block's payload being packed
+    uint64_t blocks_ = 0;
+    uint64_t entries_ = 0;
+    bool finished_ = false;
+};
+
+class BlockStore {
+  public:
+    explicit BlockStore(const BlockStoreConfig& config);
+    BlockStore(const BlockStore&) = delete;
+    BlockStore& operator=(const BlockStore&) = delete;
+
+    // Header read and verified? A corrupt or missing header makes the
+    // whole checkpoint unusable (fail closed).
+    bool ok() const {
+        return ok_;
+    }
+    uint64_t block_count() const {
+        return block_count_;
+    }
+    uint64_t entry_count() const {
+        return entry_count_;
+    }
+
+    // The verified bytes of data block `index` (0-based, excluding the
+    // header), via the cache; nullptr when the disk block is corrupt.
+    // The pointer is valid until the next read_block call (eviction).
+    const std::vector<uint8_t>* read_block(uint64_t index);
+
+    // Visit every pair in write order through the cache. Stops and
+    // returns false at the first corrupt disk block; pairs already
+    // visited were checksum-verified. Slices are valid only during the
+    // callback.
+    bool scan(FnRef<void(Str key, Str value)> f);
+
+    const BlockCacheStats& cache_stats() const {
+        return stats_;
+    }
+
+    // §11 walker: every cached block's bytes still match its checksum,
+    // the LRU list and index agree, and cached_bytes equals the sum of
+    // cached block sizes (and respects the budget with one-block slack).
+    // Checked builds run it after every cache mutation; eviction
+    // additionally re-checks the evicted block's CRC (checksum-on-evict)
+    // so corruption cannot silently leave the cache.
+    void verify() const;
+
+    // Test hooks (validation_tests): mutable access to a cached block's
+    // bytes, and a deliberate accounting skew for the walker to catch.
+    std::vector<uint8_t>* cached_bytes_for_test(uint64_t index);
+    void skew_accounting_for_test(uint64_t delta) {
+        stats_.cached_bytes += delta;
+    }
+
+  private:
+    struct CachedBlock {
+        uint64_t index;
+        uint32_t crc;  // stored checksum, for cheap revalidation
+        std::vector<uint8_t> bytes;  // verified payload
+    };
+
+    void read_header();
+    bool fetch_from_disk(uint64_t index, std::vector<uint8_t>& payload,
+                         uint32_t& crc);
+    void insert_cached(uint64_t index, std::vector<uint8_t>&& payload);
+    void evict_lru();
+
+    BlockStoreConfig config_;
+    File file_;
+    bool ok_ = false;
+    uint64_t block_count_ = 0;
+    uint64_t entry_count_ = 0;
+    std::list<CachedBlock> lru_;  // front = most recent
+    std::unordered_map<uint64_t, std::list<CachedBlock>::iterator> index_;
+    BlockCacheStats stats_;
+    std::vector<uint8_t> raw_;  // reusable raw-block read buffer
+};
+
+}  // namespace persist
+}  // namespace pequod
+
+#endif

@@ -83,6 +83,8 @@ void ShardClient::flush(uint64_t stamp) {
 ShardedServer::ShardedServer(const ShardConfig& config) : config_(config) {
     if (config_.shards < 1)
         throw std::invalid_argument("ShardedServer needs >= 1 shard");
+    if (config_.persist.enabled())
+        persist::make_dir(config_.persist.dir);
     for (int s = 0; s != config_.shards; ++s) {
         shards_.push_back(std::make_unique<ShardState>(config_.server));
         ShardState& st = *shards_.back();
@@ -93,7 +95,66 @@ ShardedServer::ShardedServer(const ShardConfig& config) : config_(config) {
         st.server.set_source_observer([this, s](Str lo, Str hi) {
             will_scan_source(s, lo, hi);
         });
+        if (config_.persist.enabled()) {
+            persist::PersistConfig pc = config_.persist;
+            pc.dir += "/shard-" + std::to_string(s);
+            st.persist = std::make_unique<persist::Persistence>(pc);
+            // Replay this shard's owned base keys straight into its
+            // engine. Replicated ranges and sinks were never logged:
+            // they come back through subscription and lazy
+            // materialization, so recovery replays only what §13 calls
+            // durable. The joins are already installed but no range has
+            // been scanned, so these puts trigger no fan-out.
+            st.recovery = st.persist->recover(
+                [&st](Str key, Str value) {
+                    st.server.put(key, value);
+                },
+                [](Str, Str) {});
+        }
     }
+    // Sink table prefixes, for the checkpoint enumerator's "derived,
+    // skip" filter. Parsed once; every shard installs the same specs.
+    const std::string& joins = config_.joins;
+    size_t pos = 0;
+    while (pos < joins.size()) {
+        size_t semi = joins.find(';', pos);
+        if (semi == std::string::npos)
+            semi = joins.size();
+        // One-time constructor parse, not the request path.
+        // pqlint: allow(hot-string)
+        std::string spec = joins.substr(pos, semi - pos);
+        if (spec.find_first_not_of(" \t\n") != std::string::npos) {
+            Join parsed;
+            parsed.parse(spec);
+            sink_prefixes_.push_back(parsed.sink().table_prefix());
+        }
+        pos = semi + 1;
+    }
+}
+
+bool ShardedServer::is_sink_key(Str key) const {
+    for (const std::string& prefix : sink_prefixes_)
+        if (starts_with(key, prefix))
+            return true;
+    return false;
+}
+
+bool ShardedServer::checkpoint_shard(int s) {
+    ShardState& st = *shards_[static_cast<size_t>(s)];
+    if (!st.persist)
+        return false;
+    int nshards = config_.shards;
+    return st.persist->checkpoint([&](FnRef<void(Str, Str)> emit) {
+        st.server.scan_stored(
+            Str(), Str(),
+            [&](const std::string& key, const Entry& e) {
+                // Owned base keys only: replicas are another shard's
+                // durability problem, sinks are derived.
+                if (!is_sink_key(key)
+                    && shard_of(key, nshards) == s)
+                    emit(Str(key), Str(e.value()));
+            });
+    });
 }
 
 ShardedServer::~ShardedServer() {
@@ -128,8 +189,13 @@ MpscQueue<Frame>& ShardedServer::shard_mailbox(int s) {
 }
 
 void ShardedServer::load(Str key, Str value) {
-    shards_[static_cast<size_t>(shard_of(key, config_.shards))]
-        ->server.put(key, value);
+    ShardState& st =
+        *shards_[static_cast<size_t>(shard_of(key, config_.shards))];
+    st.server.put(key, value);
+    // Bulk load rides the normal group commit (no per-put flush);
+    // start() and orderly shutdown both flush the tail.
+    if (st.persist)
+        st.persist->log_put(key, value);
 }
 
 // ---- frame application -----------------------------------------------------
@@ -182,6 +248,12 @@ void ShardedServer::apply_frame(int s, Frame&& frame, bool in_wait_loop) {
         apply_message(s, frame.from, std::move(m));
         (void)in_wait_loop;
     }
+    // Group commit at the frame boundary (§13): one flush covers every
+    // put the frame carried, and it lands before the frame's staged
+    // completions are released — a completion the client can observe
+    // names a put that is already durable.
+    if (st.persist)
+        st.persist->flush();
 }
 
 void ShardedServer::apply_message(int s, int from, net::Message&& m) {
@@ -219,6 +291,8 @@ void ShardedServer::apply_message(int s, int from, net::Message&& m) {
 void ShardedServer::handle_client_put(int s, int client, net::Message&& m) {
     ShardState& st = *shards_[static_cast<size_t>(s)];
     st.server.put(m.key, m.value);
+    if (st.persist)
+        st.persist->log_put(m.key, m.value);
     ++st.stats.client_puts;
     if (config_.log_applied)
         st.applied_puts.emplace_back(m.key, m.value);
@@ -466,6 +540,11 @@ void ShardedServer::release_now(int s) {
 void ShardedServer::start() {
     if (threaded_)
         return;
+    // Bulk-loaded records become durable before any worker can ack new
+    // work on top of them; the journals then belong to their workers.
+    for (auto& st : shards_)
+        if (st->persist)
+            st->persist->flush();
     threaded_ = true;
     stopping_.store(false, std::memory_order_relaxed);
     for (int s = 0; s != config_.shards; ++s)

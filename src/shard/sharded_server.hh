@@ -46,6 +46,7 @@
 #include "core/server.hh"
 #include "net/buffer.hh"
 #include "net/message.hh"
+#include "persist/persist.hh"
 #include "shard/routing.hh"
 
 namespace pequod {
@@ -67,6 +68,13 @@ struct ShardConfig {
     // Record each applied client put per shard, in application order,
     // for the sequential-replay oracle in the stress tests.
     bool log_applied = false;
+    // Durability (§13): when persist.dir is non-empty each shard
+    // journals the client puts it *owns* to <dir>/shard-<s>, group-
+    // committed per mailbox frame (a put's completion is released only
+    // after its frame's WAL batch flushed). Replicated ranges and join
+    // sinks are never logged — they rebuild through the subscription
+    // protocol after recovery.
+    persist::PersistConfig persist;
 };
 
 // One mailbox element: a batch of encoded messages from one producer.
@@ -207,6 +215,20 @@ class ShardedServer {
     const ShardConfig& config() const {
         return config_;
     }
+    // Durability controls (quiescence only, like server()). checkpoint
+    // snapshots the shard's owned base keys and truncates its WAL.
+    bool persistent() const {
+        return config_.persist.enabled();
+    }
+    bool checkpoint_shard(int s);
+    const persist::RecoverResult* last_recovery(int s) const {
+        const ShardState& st = *shards_[static_cast<size_t>(s)];
+        return st.persist ? &st.recovery : nullptr;
+    }
+    const persist::WalStats* wal_stats(int s) const {
+        const ShardState& st = *shards_[static_cast<size_t>(s)];
+        return st.persist ? &st.persist->wal().stats() : nullptr;
+    }
 
     static int encode_client(int client_id) {
         return -1 - client_id;
@@ -263,6 +285,11 @@ class ShardedServer {
         Staged staged;
         std::vector<std::pair<std::string, std::string>> applied_puts;
 
+        // §13 durability: this shard's journal (worker-owned like the
+        // Server) and what the constructor's recovery replayed.
+        std::unique_ptr<persist::Persistence> persist;
+        persist::RecoverResult recovery;
+
         // Quiescence protocol (worker mode). `idle` is false for the
         // whole time the worker might be inside step() — it is cleared
         // *before* the frame is popped, not after the step returns, so
@@ -300,7 +327,12 @@ class ShardedServer {
     // Ship staged output immediately (worker mode shorthand).
     void release_now(int s);
 
+    // True when `key` lands in a join sink table (derived, never
+    // persisted).
+    bool is_sink_key(Str key) const;
+
     ShardConfig config_;
+    std::vector<std::string> sink_prefixes_;
     std::vector<std::unique_ptr<ShardState>> shards_;
     std::vector<std::unique_ptr<ShardClient>> clients_;
     std::vector<std::thread> workers_;

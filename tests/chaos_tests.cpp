@@ -9,10 +9,19 @@
 //
 // Seeds are printed on every run. Override with PEQUOD_CHAOS_SEED=<n>
 // to replay one schedule under a debugger.
+//
+// With a persistence directory, the same schedules run with durable
+// bases: a crash power-fails the base (dropping its RAM state and any
+// un-fsynced WAL tail) and a restart reloads it from checkpoint + WAL,
+// so the oracle check additionally proves acked writes survive real
+// state loss and unacked writes do not resurrect from the log.
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -23,6 +32,27 @@
 
 namespace pequod {
 namespace {
+
+// Scratch directory in the build tree, removed on scope exit.
+class ChaosTempDir {
+  public:
+    ChaosTempDir() {
+        char tmpl[] = "chaos_persist_XXXXXX";
+        char* made = ::mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        path_ = made ? made : "chaos_persist_fallback";
+    }
+    ~ChaosTempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    const std::string& path() const {
+        return path_;
+    }
+
+  private:
+    std::string path_;
+};
 
 constexpr const char* kTimelineJoin =
     "t|<u>|<ts:10>|<p> = check s|<u>|<p> copy p|<p>|<ts:10>";
@@ -35,7 +65,10 @@ std::string post_key(uint32_t u, uint64_t ts) {
     return "p|" + ukey(u) + "|" + pad_number(ts, 10);
 }
 
-void run_chaos(uint64_t seed) {
+// `persist_dir` empty runs the historical in-memory schedule; non-empty
+// runs the identical schedule (the RNG stream is untouched by the
+// config change) against disk-backed bases.
+void run_chaos(uint64_t seed, const std::string& persist_dir = "") {
     SCOPED_TRACE("chaos seed " + std::to_string(seed));
     Rng rng(seed);
     distrib::Cluster::Config ccfg;
@@ -45,6 +78,7 @@ void run_chaos(uint64_t seed) {
     ccfg.joins = kTimelineJoin;
     ccfg.backoff_base_ticks = 1;
     ccfg.backoff_max_ticks = 4;
+    ccfg.persist.dir = persist_dir;
     distrib::Cluster cluster(ccfg);
     cluster.network().set_fault_seed(seed * 0x9e3779b97f4a7c15ull + 1);
     Server oracle;
@@ -175,6 +209,11 @@ void run_chaos(uint64_t seed) {
                     });
         ASSERT_EQ(got, want) << "user " << u;
     }
+
+    if (!persist_dir.empty()) {
+        for (int b = 0; b < B; ++b)
+            EXPECT_TRUE(cluster.base(b).persistent());
+    }
 }
 
 uint64_t seed_from_env(uint64_t fallback, int* count) {
@@ -193,6 +232,24 @@ TEST(Chaos, SeededFaultSchedulesConvergeToOracle) {
         std::printf("[chaos] running seed %llu\n",
                     static_cast<unsigned long long>(seed));
         run_chaos(seed);
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST(Chaos, CrashRestartFromDiskConvergesToOracle) {
+    // The same seeded schedules, but every base crash is a power
+    // failure and every restart reloads the base from checkpoint + WAL.
+    // Fewer iterations than the in-memory run: each schedule now pays
+    // for real fsyncs on every acked write.
+    int count = 8;
+    uint64_t base_seed = seed_from_env(1, &count);
+    for (int i = 0; i < count; ++i) {
+        uint64_t seed = base_seed + static_cast<uint64_t>(i);
+        std::printf("[chaos] running seed %llu (durable bases)\n",
+                    static_cast<unsigned long long>(seed));
+        ChaosTempDir td;
+        run_chaos(seed, td.path() + "/cluster");
         if (HasFatalFailure())
             return;
     }

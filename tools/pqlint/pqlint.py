@@ -24,6 +24,13 @@ documents, the ones a C++ compiler cannot check for us:
                           containers need std::less<>, unordered ones need
                           StrHash/StrEqual. A non-transparent container
                           forces a std::string allocation per lookup.
+  raw-io                  Raw POSIX file I/O (::open, ::write, ::fsync,
+                          ::rename, ...) belongs in src/persist/, whose
+                          File/dir helpers own the partial-write retry,
+                          errno mapping, and fsync-before-rename ordering
+                          the durability contract (DESIGN.md section 13)
+                          depends on. A stray ::write elsewhere bypasses
+                          all of that.
 
 A violation is suppressed by `// pqlint: allow(<rule>)` on the same line
 or the line directly above; every suppression is a documented, reviewed
@@ -47,14 +54,16 @@ import re
 import sys
 
 RULES = ("str-member", "hot-string", "intervalmap-mutation",
-         "transparent-comparator")
+         "transparent-comparator", "raw-io")
 
 # Types whose whole purpose is owning the bytes their Str members point
 # at; Str members inside them are the convention, not a violation.
 SANCTIONED_STR_OWNERS = {"OwnedSlots", "KeyBuf", "Entry"}
 
 # Directories (relative to the scan root) whose files form the hot path.
-HOT_DIRS = ("store", "core", "common", "shard")
+# persist is here because the WAL append rides every acked write; its
+# recovery-time and error-path copies carry reviewed allow() comments.
+HOT_DIRS = ("store", "core", "common", "shard", "persist")
 
 ALLOW_RE = re.compile(r"pqlint:\s*allow\(([a-z\-,\s]+)\)")
 
@@ -282,6 +291,28 @@ def check_intervalmap(path, rel, stripped_lines):
                    "sanction this instance")
 
 
+# A global-namespace call to a POSIX I/O primitive. The negative
+# lookbehind keeps qualified names (Server::write, File::read_only) from
+# matching: those have an identifier or template '>' before the '::'.
+RAW_IO_RE = re.compile(
+    r"(?<![\w>])::(open|close|read|write|pread|pwrite|fsync|fdatasync"
+    r"|ftruncate|unlink|rename|mkdir)\s*\(")
+
+
+def check_raw_io(path, rel, stripped_lines):
+    """Raw POSIX I/O calls outside the durability tier."""
+    parts = rel.split(os.sep)
+    if parts and parts[0] == "persist":
+        return  # the File/dir helpers are the sanctioned home
+    for lineno, line in enumerate(stripped_lines, 1):
+        m = RAW_IO_RE.search(line)
+        if m:
+            yield (lineno, "raw-io",
+                   "raw ::%s() outside src/persist/; go through "
+                   "persist::File / the persist dir helpers so the "
+                   "durability ordering rules hold" % m.group(1))
+
+
 CONTAINER_RE = re.compile(r"\bstd::(map|set|unordered_map|unordered_set)\s*<")
 
 
@@ -340,6 +371,7 @@ def lint_file(path, root):
     found.extend(check_hot_string(path, rel, stripped_lines))
     found.extend(check_intervalmap(path, rel, stripped_lines))
     found.extend(check_transparent(path, stripped, line_starts))
+    found.extend(check_raw_io(path, rel, stripped_lines))
 
     results = []
     for lineno, rule, message in found:

@@ -11,8 +11,8 @@
 #
 # Smoke parameters (CI-sized; the paper-scale runs are documented in
 # DESIGN.md §9) can be overridden with FIG7_ARGS / FIG9_ARGS /
-# SHARING_ARGS / FAULTS_ARGS / SHARD_ARGS, or skipped entirely with
-# SKIP_FIGS=1.
+# SHARING_ARGS / FAULTS_ARGS / SHARD_ARGS / RECOVERY_ARGS, or skipped
+# entirely with SKIP_FIGS=1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +27,9 @@ FAULTS_ARGS=${FAULTS_ARGS:-"400 4 --seed 1"}
 # Shard scaling wants a graph big enough that per-shard load stays
 # balanced; 60k users keeps the CI run under a couple of minutes.
 SHARD_ARGS=${SHARD_ARGS:-"60000 4000 60000 --shards 1,2,4,8"}
+# Enough unbatched fsyncs to measure the group-commit speedup without
+# spending CI minutes on the slow arm of the comparison.
+RECOVERY_ARGS=${RECOVERY_ARGS:-"4000 100000"}
 
 if [ ! -x "$BIN" ]; then
     echo "error: benchmark binary '$BIN' not found (build with cmake first)" >&2
@@ -39,8 +42,9 @@ FIG9_RAW=$(mktemp)
 SHARING_RAW=$(mktemp)
 FAULTS_RAW=$(mktemp)
 SHARD_RAW=$(mktemp)
+RECOVERY_RAW=$(mktemp)
 trap 'rm -f "$RAW" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" "$FAULTS_RAW" \
-     "$SHARD_RAW"' EXIT
+     "$SHARD_RAW" "$RECOVERY_RAW"' EXIT
 "$BIN" --benchmark_format=json --benchmark_min_time="$MIN_TIME" > "$RAW"
 
 # A missing figure harness used to be skipped silently, which made the
@@ -57,7 +61,8 @@ require_bench() {
 
 if [ "${SKIP_FIGS:-0}" != "1" ]; then
     for b in fig7_system_comparison fig9_interleaved \
-             ablation_value_sharing fig_faults fig_shard_scaling; do
+             ablation_value_sharing fig_faults fig_shard_scaling \
+             fig_recovery; do
         require_bench "$b"
     done
     "$BENCH_DIR/fig7_system_comparison" $FIG7_ARGS > "$FIG7_RAW"
@@ -65,16 +70,17 @@ if [ "${SKIP_FIGS:-0}" != "1" ]; then
     "$BENCH_DIR/ablation_value_sharing" $SHARING_ARGS > "$SHARING_RAW"
     "$BENCH_DIR/fig_faults" $FAULTS_ARGS > "$FAULTS_RAW"
     "$BENCH_DIR/fig_shard_scaling" $SHARD_ARGS > "$SHARD_RAW"
+    "$BENCH_DIR/fig_recovery" $RECOVERY_ARGS > "$RECOVERY_RAW"
 fi
 
 python3 - "$RAW" "$OUT" "$FIG7_RAW" "$FIG9_RAW" "$SHARING_RAW" \
-    "$FAULTS_RAW" "$SHARD_RAW" <<'EOF'
+    "$FAULTS_RAW" "$SHARD_RAW" "$RECOVERY_RAW" <<'EOF'
 import json
 import re
 import sys
 
 (raw_path, out_path, fig7_path, fig9_path, sharing_path,
- faults_path, shard_path) = sys.argv[1:8]
+ faults_path, shard_path, recovery_path) = sys.argv[1:9]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -155,6 +161,22 @@ for line in open(shard_path):
         }
 if shard:
     figures["fig_shard_scaling"] = shard
+
+# §13: durability cost/benefit — group-commit speedup, replay rate, and
+# whether the warm restart read back a byte-identical timeline.
+for line in open(recovery_path):
+    m = re.match(
+        r"^fig_recovery summary: fsync_batch_speedup=(\d+\.\d+)x "
+        r"unbatched_qps=(\d+) batched_qps=(\d+) "
+        r"recovery_s_per_1m=(\d+\.\d+) warm_restart_fresh=(\d+)$", line)
+    if m:
+        figures["fig_recovery"] = {
+            "fsync_batch_speedup": float(m.group(1)),
+            "unbatched_qps": int(m.group(2)),
+            "batched_qps": int(m.group(3)),
+            "recovery_s_per_1m_records": float(m.group(4)),
+            "warm_restart_fresh": bool(int(m.group(5))),
+        }
 
 out = {
     "context": {
