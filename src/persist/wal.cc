@@ -15,11 +15,14 @@ namespace {
 // Varint reader over a raw byte range with explicit truncation
 // signalling — net::Buffer's reader clamps at end-of-buffer, which is
 // right for trusted frames but would mistake a torn tail for a zero.
-bool read_varint_at(const std::vector<uint8_t>& b, size_t& pos,
-                    uint64_t& out) {
+// `limit` bounds the read: the buffer end for record framing, the
+// record end for payload decode (a varint must not leak past its
+// record into the CRC or the next record's bytes).
+bool read_varint_at(const std::vector<uint8_t>& b, size_t limit,
+                    size_t& pos, uint64_t& out) {
     uint64_t v = 0;
     int shift = 0;
-    while (pos < b.size() && shift < 64) {
+    while (pos < limit && shift < 64) {
         uint8_t c = b[pos++];
         v |= static_cast<uint64_t>(c & 0x7f) << shift;
         if (!(c & 0x80)) {
@@ -69,8 +72,16 @@ Wal::Wal(const WalConfig& config) : config_(config) {
 }
 
 Wal::~Wal() {
-    if (!crashed_ && buffered_ops_ != 0)
-        flush();
+    if (!crashed_ && buffered_ops_ != 0) {
+        try {
+            flush();
+        } catch (...) {
+            // Destructors must not throw (std::terminate). The flush
+            // here is best-effort shutdown hygiene; callers that need
+            // guaranteed durability call flush() before destruction and
+            // observe the IoError there.
+        }
+    }
 }
 
 void Wal::open_segment(uint64_t segment) {
@@ -146,35 +157,42 @@ ReplayResult Wal::replay(const std::string& dir, uint64_t from_segment,
                          FnRef<void(const WalRecord&)> handler) {
     ReplayResult result;
     std::vector<uint8_t> bytes;
-    for (uint64_t seg : segments_in(dir)) {
+    std::vector<uint64_t> segs = segments_in(dir);
+    for (uint64_t seg : segs) {
         if (seg < from_segment)
             continue;
         if (!read_file(segment_path(dir, seg), bytes))
             continue;
         ++result.segments;
         size_t pos = 0;
+        bool stopped = false;
         while (pos < bytes.size()) {
             size_t record_start = pos;
             auto stop = [&](const char* why) {
+                // Diagnostics name the first stop; later stops in other
+                // segments only count toward skipped_tails below.
+                if (result.clean) {
+                    result.stop_reason = why;
+                    result.stopped_segment = seg;
+                    result.stopped_offset = record_start;
+                }
                 result.clean = false;
-                result.stop_reason = why;
-                result.stopped_segment = seg;
-                result.stopped_offset = record_start;
+                stopped = true;
             };
             uint64_t len = 0;
-            if (!read_varint_at(bytes, pos, len)) {
+            if (!read_varint_at(bytes, bytes.size(), pos, len)) {
                 stop("torn length varint");
-                return result;
+                break;
             }
             if (len > bytes.size() - pos) {
                 stop("torn payload");
-                return result;
+                break;
             }
             size_t payload = pos;
             pos += static_cast<size_t>(len);
             if (bytes.size() - pos < 4) {
                 stop("torn checksum");
-                return result;
+                break;
             }
             uint32_t want = static_cast<uint32_t>(bytes[pos])
                 | static_cast<uint32_t>(bytes[pos + 1]) << 8
@@ -184,25 +202,27 @@ ReplayResult Wal::replay(const std::string& dir, uint64_t from_segment,
             if (crc32c(bytes.data() + payload,
                        static_cast<size_t>(len)) != want) {
                 stop("crc mismatch");
-                return result;
+                break;
             }
-            // Decode the verified payload. A CRC-valid but malformed
-            // record means an encoder bug, not a crash; still stop
-            // rather than guess.
+            // Decode the verified payload, bounding every read by the
+            // record end — a CRC-valid but malformed record (encoder
+            // bug, crafted file) must not yield views past its frame.
+            // Still stop rather than guess.
             size_t p = payload, end = payload + static_cast<size_t>(len);
             uint64_t op = 0, alen = 0, blen = 0;
-            if (!read_varint_at(bytes, p, op)
+            if (!read_varint_at(bytes, end, p, op)
                 || (op != WalRecord::kPut && op != WalRecord::kErase)
-                || !read_varint_at(bytes, p, alen) || alen > end - p) {
+                || !read_varint_at(bytes, end, p, alen)
+                || alen > end - p) {
                 stop("malformed record");
-                return result;
+                break;
             }
             Str a(reinterpret_cast<const char*>(bytes.data()) + p,
                   static_cast<size_t>(alen));
             p += static_cast<size_t>(alen);
-            if (!read_varint_at(bytes, p, blen) || blen > end - p) {
+            if (!read_varint_at(bytes, end, p, blen) || blen > end - p) {
                 stop("malformed record");
-                return result;
+                break;
             }
             Str b(reinterpret_cast<const char*>(bytes.data()) + p,
                   static_cast<size_t>(blen));
@@ -212,6 +232,19 @@ ReplayResult Wal::replay(const std::string& dir, uint64_t from_segment,
             rec.value = b;
             handler(rec);
             ++result.records;
+        }
+        if (stopped) {
+            // A tear sits only at the durable frontier of the
+            // incarnation that wrote the segment, and every incarnation
+            // appends to a strictly later segment — so an unclean tail
+            // in a non-final segment is a frozen artifact of an older
+            // crash, not the current frontier. Skip the remainder of
+            // this segment and keep replaying: acknowledged, fsync'd
+            // records in later segments are still durable. Only an
+            // unclean tail in the last segment ends replay.
+            if (seg == segs.back())
+                break;
+            ++result.skipped_tails;
         }
     }
     return result;

@@ -16,11 +16,18 @@
 // checkpoint can name a segment index as its cut: everything before it
 // is summarized by the checkpoint and deletable.
 //
-// Replay walks segments in order and stops cleanly at the first record
-// that is torn (length or body truncated by a crash) or corrupt (CRC
-// mismatch, malformed payload): everything before the bad record is
-// applied, nothing after it — a torn tail must not shadow-apply records
-// whose durability was never acknowledged.
+// Replay walks segments in order. Within a segment it stops at the
+// first record that is torn (length or body truncated by a crash) or
+// corrupt (CRC mismatch, malformed payload): everything before the bad
+// record is applied, nothing after it in that segment — a torn tail
+// must not shadow-apply records whose durability was never
+// acknowledged. A tear can only sit at the durable frontier of the
+// incarnation that wrote the segment, and every incarnation opens a
+// strictly later segment, so an unclean tail in a non-final segment is
+// a frozen artifact of an older crash: replay skips past it and
+// continues with the next segment, where acknowledged, fsync'd records
+// of later incarnations live. Only an unclean tail in the final
+// segment — the current durable frontier — ends replay.
 #ifndef PEQUOD_PERSIST_WAL_HH
 #define PEQUOD_PERSIST_WAL_HH
 
@@ -70,12 +77,15 @@ struct WalRecord {
 struct ReplayResult {
     uint64_t records = 0;
     uint64_t segments = 0;
-    // False when replay stopped at a torn or corrupt record; `stopped_at`
-    // names the segment and byte offset for diagnostics.
+    // False when replay hit a torn or corrupt record anywhere;
+    // stop_reason/stopped_segment/stopped_offset describe the first one.
     bool clean = true;
     std::string stop_reason;
     uint64_t stopped_segment = 0;
     uint64_t stopped_offset = 0;
+    // Non-final segments whose unclean tail was skipped so the durable
+    // records in later segments still replayed.
+    uint64_t skipped_tails = 0;
 };
 
 class Wal {
@@ -85,6 +95,9 @@ class Wal {
     Wal& operator=(const Wal&) = delete;
     // Flushes buffered records: process exit is an orderly shutdown,
     // not a crash. Crash tests drop the buffer first via simulate_crash.
+    // I/O errors from this best-effort flush are swallowed (a destructor
+    // must not throw); callers that need guaranteed durability call
+    // flush() explicitly and observe the IoError there.
     ~Wal();
 
     // Hot path: encode into the warm batch buffer; flush when the group

@@ -193,8 +193,10 @@ void ShardedServer::load(Str key, Str value) {
         *shards_[static_cast<size_t>(shard_of(key, config_.shards))];
     st.server.put(key, value);
     // Bulk load rides the normal group commit (no per-put flush);
-    // start() and orderly shutdown both flush the tail.
-    if (st.persist)
+    // start() and orderly shutdown both flush the tail. Sink-prefix
+    // keys stay unlogged, matching the checkpoint filter (see
+    // handle_client_put).
+    if (st.persist && !is_sink_key(key))
         st.persist->log_put(key, value);
 }
 
@@ -291,7 +293,13 @@ void ShardedServer::apply_message(int s, int from, net::Message&& m) {
 void ShardedServer::handle_client_put(int s, int client, net::Message&& m) {
     ShardState& st = *shards_[static_cast<size_t>(s)];
     st.server.put(m.key, m.value);
-    if (st.persist)
+    // Sink-prefix keys are derived state: checkpoint_shard excludes
+    // them, so the log must too — a logged-but-never-checkpointed key
+    // would survive only until the first checkpoint truncates the WAL,
+    // then silently vanish. Keeping the logged and snapshotted key sets
+    // identical makes such a put uniformly volatile: it lives until
+    // restart, like any other derived data, every time.
+    if (st.persist && !is_sink_key(m.key))
         st.persist->log_put(m.key, m.value);
     ++st.stats.client_puts;
     if (config_.log_applied)

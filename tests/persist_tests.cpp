@@ -1,8 +1,10 @@
 // Durability-tier tests (DESIGN.md §13). The contract under test:
 //
 //  - WAL records round-trip, rotate across segments, and replay stops
-//    cleanly at the first torn or corrupt tail record — never applying
-//    anything after it;
+//    cleanly at the first torn or corrupt tail record of a segment —
+//    never applying anything after it in that segment, while a tear in
+//    a non-final segment (an older incarnation's frozen frontier) must
+//    not shadow the durable records of later segments;
 //  - a checksummed block file detects a bit flip at *every* byte offset
 //    (header, CRC field, length, payload, padding) and fails closed
 //    instead of serving garbage;
@@ -275,6 +277,134 @@ TEST(Wal, TornTailStopsReplayAtEveryTruncationPoint) {
             EXPECT_EQ(records[i].second,
                       "Pvalue" + std::to_string(i * 7));
         }
+    }
+}
+
+// The crash-loop regression the review demanded: a REAL torn tail on
+// disk (not simulate_crash, which leaves whole bytes) in segment N,
+// then a later incarnation appending fsync'd records to segment N+1.
+// Replay must skip past the frozen tear and still deliver every
+// acknowledged record of the later incarnation — a tear can only be
+// the durable frontier of the incarnation that wrote it.
+TEST(Wal, TornTailInOlderSegmentDoesNotShadowLaterSegments) {
+    TempDir td;
+    WalConfig wc;
+    wc.dir = td.sub("wal");
+    {
+        Wal wal(wc);
+        wal.append_put("old|durable", "1");
+        wal.append_put("old|torn", "2");
+        wal.flush();
+    }
+    // Power loss mid-write: shear the last few bytes off the tail, so
+    // the final record of segment 1 is torn on the platter.
+    auto segs = Wal::segments_in(wc.dir);
+    ASSERT_EQ(segs.size(), 1u);
+    std::string seg1 = Wal::segment_path(wc.dir, segs[0]);
+    std::vector<uint8_t> full;
+    ASSERT_TRUE(read_file(seg1, full));
+    ASSERT_GT(full.size(), 3u);
+    {
+        File f = File::create(seg1);
+        f.write_all(full.data(), full.size() - 3);
+    }
+    // Next incarnation: appends land in segment 2; the tear is frozen.
+    {
+        Wal wal(wc);
+        wal.append_put("new|acked", "3");
+        wal.flush();
+    }
+    EXPECT_EQ(Wal::segments_in(wc.dir).size(), 2u);
+    ReplayResult rr;
+    Items records = replay_all(wc.dir, &rr);
+    EXPECT_FALSE(rr.clean);
+    EXPECT_EQ(rr.skipped_tails, 1u);
+    EXPECT_EQ(rr.stopped_segment, segs[0]);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].first, "old|durable");
+    EXPECT_EQ(records[1].first, "new|acked");  // survived the old tear
+    EXPECT_EQ(records[1].second, "P3");
+
+    // A tear in the FINAL segment is the current frontier: replay ends
+    // there and skips nothing.
+    std::string seg2 = Wal::segment_path(wc.dir, 2);
+    std::vector<uint8_t> tail;
+    ASSERT_TRUE(read_file(seg2, tail));
+    {
+        File f = File::create(seg2);
+        f.write_all(tail.data(), tail.size() - 2);
+    }
+    records = replay_all(wc.dir, &rr);
+    EXPECT_FALSE(rr.clean);
+    EXPECT_EQ(rr.skipped_tails, 1u);  // still only segment 1's tear
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].first, "old|durable");
+}
+
+// Same scenario through the orchestrator: after a torn tail and a
+// second incarnation of acknowledged writes, recover() must rebuild
+// the union of both incarnations' durable prefixes.
+TEST(Persistence, RecoverReplaysPastAnOlderIncarnationsTornTail) {
+    TempDir td;
+    PersistConfig pc;
+    pc.dir = td.sub("p");
+    {
+        Persistence p(pc);
+        recover_inplace(p);
+        p.log_put("a", "1");
+        p.log_put("b", "torn-away");
+        p.flush();
+    }
+    // Tear the tail record of the first incarnation's segment.
+    std::string wal_dir = pc.dir + "/wal";
+    auto segs = Wal::segments_in(wal_dir);
+    ASSERT_FALSE(segs.empty());
+    std::string seg = Wal::segment_path(wal_dir, segs.back());
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(read_file(seg, bytes));
+    {
+        File f = File::create(seg);
+        f.write_all(bytes.data(), bytes.size() - 2);
+    }
+    {
+        Persistence p(pc);
+        recover_inplace(p);
+        p.log_put("c", "3");
+        p.flush();
+    }
+    Oracle recovered = recover_into_map(pc);
+    Oracle want{{"a", "1"}, {"c", "3"}};  // "b" died in the tear
+    EXPECT_EQ(recovered, want);
+}
+
+// CRC-valid but malformed payloads (encoder bug or crafted file): a
+// length varint that runs past the record end, or a huge inner length,
+// must stop replay at the record — never read past the frame.
+TEST(Wal, MalformedRecordLengthsStopReplaySafely) {
+    // payloads[0]: op=kPut, then alen varint 0x81 whose continuation
+    // runs off the record end into the CRC bytes (the old decoder's
+    // size_t underflow path). payloads[1]: op=kPut, alen decodes huge.
+    const std::vector<std::vector<uint8_t>> payloads{
+        {0x01, 0x81},
+        {0x01, 0xff, 0xff, 0x7f},
+    };
+    for (const auto& payload : payloads) {
+        TempDir td;
+        std::string dir = td.sub("wal");
+        make_dir(dir);
+        net::Buffer frame;
+        frame.write_varint(payload.size());
+        frame.write_bytes(payload.data(), payload.size());
+        frame.write_u32(crc32c(payload.data(), payload.size()));
+        {
+            File f = File::create(Wal::segment_path(dir, 1));
+            f.write_all(frame.data(), frame.size());
+        }
+        ReplayResult rr;
+        Items records = replay_all(dir, &rr);
+        EXPECT_TRUE(records.empty());
+        EXPECT_FALSE(rr.clean);
+        EXPECT_EQ(rr.stop_reason, "malformed record");
     }
 }
 
@@ -786,6 +916,50 @@ TEST(ShardPersist, RestartRecoversOwnedBaseKeysAndRebuildsSinks) {
     // (replicas and sinks excluded) and truncates their logs.
     ASSERT_TRUE(ss.checkpoint_shard(0));
     ASSERT_TRUE(ss.checkpoint_shard(1));
+}
+
+// A client put under a sink prefix is derived-table data: checkpoints
+// exclude it, so the WAL must too, or the key would be durable only
+// until the first checkpoint truncated the log and then silently
+// vanish. With the ingest filter it is uniformly volatile — gone after
+// restart whether or not a checkpoint intervened — while base keys
+// stay durable.
+TEST(ShardPersist, SinkPrefixClientPutsAreUniformlyVolatile) {
+    for (bool with_checkpoint : {false, true}) {
+        TempDir td;
+        shard::ShardConfig cfg;
+        cfg.shards = 2;
+        cfg.joins = kTimelineJoin;
+        cfg.persist.dir = td.sub("shards");
+        cfg.persist.block_size = 512;
+        {
+            shard::ShardedServer ss(cfg);
+            shard::ShardClient& client = ss.make_client();
+            client.submit_put("p|u1|" + padded(1), "base");
+            client.submit_put("t|u9|" + padded(1) + "|p1", "sneaky");
+            client.flush();
+            settle_shards(ss);
+            if (with_checkpoint) {
+                for (int s = 0; s != ss.shards(); ++s)
+                    ASSERT_TRUE(ss.checkpoint_shard(s));
+            }
+        }
+        shard::ShardedServer ss(cfg);
+        bool base_back = false, sink_back = false;
+        for (int s = 0; s != ss.shards(); ++s)
+            ss.server(s).scan_stored(
+                Str(), Str(),
+                [&](const std::string& k, const Entry&) {
+                    if (starts_with(k, "p|"))
+                        base_back = true;
+                    if (starts_with(k, "t|"))
+                        sink_back = true;
+                });
+        EXPECT_TRUE(base_back)
+            << "with_checkpoint=" << with_checkpoint;
+        EXPECT_FALSE(sink_back)
+            << "with_checkpoint=" << with_checkpoint;
+    }
 }
 
 }  // namespace
