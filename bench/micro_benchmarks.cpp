@@ -231,6 +231,7 @@ void BM_MpscQueueSingleProducer(benchmark::State& state) {
     // enqueues and drains, so this is the raw push+pop cost (two
     // allocations, one exchange, two fence pairs).
     MpscQueue<uint64_t> queue;
+    RoleGuard consumer(queue.consumer_role());
     uint64_t v = 0;
     for (auto _ : state) {
         queue.push(v++);
@@ -252,6 +253,7 @@ void BM_MpscQueueMultiProducer(benchmark::State& state) {
     static MpscQueue<uint64_t> queue;
     static std::atomic<int> producers{0};
     if (state.thread_index() == 0) {
+        RoleGuard consumer(queue.consumer_role());
         uint64_t drained = 0;
         for (auto _ : state) {
             uint64_t out;

@@ -1,0 +1,130 @@
+// Static-analysis annotation vocabulary (DESIGN.md §14). Two families
+// live here:
+//
+//  - PQ_* semantic annotations consumed by tools/pqcheck (ownership,
+//    durability ordering, allocation-freedom, context classification).
+//    Under clang they expand to __attribute__((annotate("pq::...")))
+//    so the libclang backend reads them off the AST; under gcc they
+//    expand to nothing (the token frontend matches the macro names in
+//    source). Either way they cost nothing at runtime.
+//
+//  - PQ_CAPABILITY / PQ_GUARDED_BY / ... — Clang -Wthread-safety
+//    attribute wrappers (capability analysis), used to annotate the
+//    MPSC mailbox's single-consumer contract and the shard worker's
+//    exclusive ownership of its ShardState. gcc does not know these
+//    attributes (and warns under -Wattributes, which -Werror promotes),
+//    so they are strictly clang-gated.
+//
+// Annotation meanings (the pqcheck rule contracts are in DESIGN.md §14
+// and tools/pqcheck/README.md):
+//
+//  PQ_REQUIRES_OWNER    May only run on the thread that owns the
+//                       enclosing Server (§12). pqcheck flags any call
+//                       path from a PQ_CLIENT_CONTEXT root that reaches
+//                       one of these without passing a worker or
+//                       quiescent boundary.
+//  PQ_WORKER_CONTEXT    Runs on a shard worker thread (or the single
+//                       driving thread in inline mode) — an owning
+//                       context; traversal from client roots stops here
+//                       because the only way in is a mailbox hand-off.
+//  PQ_CLIENT_CONTEXT    Runs on a client / load-generator thread; these
+//                       are the roots of the owner-confinement walk.
+//  PQ_QUIESCENT_CONTEXT Runs only while no workers are live (bulk load,
+//                       checkpointing, test introspection); temporary
+//                       ownership of every shard is the documented
+//                       contract, so traversal stops here too.
+//  PQ_NOALLOC           The transitive callee closure must be free of
+//                       heap allocation (§8): no operator new, malloc,
+//                       std::string construction, or growth-capable
+//                       container op, except inside PQ_COLDPATH callees.
+//  PQ_COLDPATH          Sanctioned cold-path escape hatch: excluded
+//                       from enclosing PQ_NOALLOC closures (pool refill,
+//                       KeyBuf spill, error paths).
+//  PQ_RELEASES_ACK      Releases a client-visible completion or ack.
+//                       Every call site in src/distrib|src/shard must be
+//                       dominated by a call whose closure reaches a
+//                       PQ_FLUSHES_WAL function (§13 flush-before-ack);
+//                       a function annotated PQ_RELEASES_ACK delegates
+//                       that obligation to its own callers.
+//  PQ_FLUSHES_WAL       A durability barrier: everything logged before
+//                       this call survives a crash (Wal::flush and its
+//                       wrappers).
+#ifndef PEQUOD_COMMON_ANNOTATE_HH
+#define PEQUOD_COMMON_ANNOTATE_HH
+
+#if defined(__clang__)
+#define PQ_ANNOTATE(tag) __attribute__((annotate(tag)))
+#else
+#define PQ_ANNOTATE(tag)
+#endif
+
+#define PQ_REQUIRES_OWNER PQ_ANNOTATE("pq::requires_owner")
+#define PQ_WORKER_CONTEXT PQ_ANNOTATE("pq::worker_context")
+#define PQ_CLIENT_CONTEXT PQ_ANNOTATE("pq::client_context")
+#define PQ_QUIESCENT_CONTEXT PQ_ANNOTATE("pq::quiescent_context")
+#define PQ_NOALLOC PQ_ANNOTATE("pq::noalloc")
+#define PQ_COLDPATH PQ_ANNOTATE("pq::coldpath")
+#define PQ_RELEASES_ACK PQ_ANNOTATE("pq::releases_ack")
+#define PQ_FLUSHES_WAL PQ_ANNOTATE("pq::flushes_wal")
+
+// ---- Clang thread-safety (capability) analysis ------------------------------
+// The standard macro set from the clang Thread Safety Analysis docs,
+// spelled PQ_* and compiled out everywhere but clang. The CI lint job
+// builds with clang++ -Wthread-safety (promoted to an error), so a
+// consumer-side MpscQueue call without the role held fails the build.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PQ_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef PQ_TSA
+#define PQ_TSA(x)
+#endif
+
+#define PQ_CAPABILITY(x) PQ_TSA(capability(x))
+#define PQ_SCOPED_CAPABILITY PQ_TSA(scoped_lockable)
+#define PQ_GUARDED_BY(x) PQ_TSA(guarded_by(x))
+#define PQ_PT_GUARDED_BY(x) PQ_TSA(pt_guarded_by(x))
+#define PQ_REQUIRES(...) PQ_TSA(requires_capability(__VA_ARGS__))
+#define PQ_ACQUIRE(...) PQ_TSA(acquire_capability(__VA_ARGS__))
+#define PQ_RELEASE(...) PQ_TSA(release_capability(__VA_ARGS__))
+#define PQ_ASSERT_CAPABILITY(x) PQ_TSA(assert_capability(x))
+#define PQ_RETURN_CAPABILITY(x) PQ_TSA(lock_returned(x))
+#define PQ_EXCLUDES(...) PQ_TSA(locks_excluded(__VA_ARGS__))
+#define PQ_NO_THREAD_SAFETY_ANALYSIS PQ_TSA(no_thread_safety_analysis)
+
+namespace pequod {
+
+// A phantom capability modeling a *role* rather than a lock: holding it
+// asserts "this thread is the single sanctioned actor for the guarded
+// state" (the MPSC consumer, the shard worker). acquire()/release() do
+// nothing at runtime — the §12 owner-thread binding is the dynamic
+// check — but clang's capability analysis threads the claim through
+// call sites, so a consumer-side call from a context that never claimed
+// the role is a compile error under -Wthread-safety.
+class PQ_CAPABILITY("role") Role {
+  public:
+    void acquire() PQ_ACQUIRE() {}
+    void release() PQ_RELEASE() {}
+};
+
+// Scoped claim of a Role for the current function's extent. Stack-only.
+class PQ_SCOPED_CAPABILITY RoleGuard {
+  public:
+    explicit RoleGuard(Role& role) PQ_ACQUIRE(role) : role_(role) {
+        role_.acquire();
+    }
+    ~RoleGuard() PQ_RELEASE() {
+        role_.release();
+    }
+    RoleGuard(const RoleGuard&) = delete;
+    RoleGuard& operator=(const RoleGuard&) = delete;
+
+  private:
+    Role& role_;
+};
+
+}  // namespace pequod
+
+#endif

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/str.hh"
 #include "common/validate.hh"
 
@@ -49,11 +50,11 @@ class IntervalMap {
     // Visit the value of every interval with lo <= key < hi. Takes a Str
     // view, so stabbing with a key slice allocates nothing.
     template <typename F>
-    void stab(Str key, F f) const {
+    PQ_NOALLOC void stab(Str key, F f) const {
         stab_node(root_, key, f);
     }
     template <typename F>
-    void stab(Str key, F f) {
+    PQ_NOALLOC void stab(Str key, F f) {
         stab_node(root_, key, f);
     }
 
@@ -91,7 +92,7 @@ class IntervalMap {
     // augmentation, link consistency (every node reachable exactly once),
     // and the node count against size(). This is the walker that would
     // have caught the PR 6 ghost-node bug on day one.
-    void verify() const {
+    PQ_COLDPATH void verify() const {
         std::unordered_set<const Node*> seen;
         size_t count = 0;
         verify_node(root_, nullptr, nullptr, nullptr, seen, count);
@@ -312,7 +313,7 @@ class IntervalMap {
 
     // `lo_min`/`lo_max` are the inclusive bounds the ancestors impose on
     // every lo in this subtree (null == unbounded).
-    static void verify_node(const Node* n, const std::string* lo_min,
+    PQ_COLDPATH static void verify_node(const Node* n, const std::string* lo_min,
                             const std::string* lo_max, const Node* parent,
                             std::unordered_set<const Node*>& seen,
                             size_t& count) {

@@ -22,6 +22,12 @@
 //    or yield on false.
 //  - Exactly one consumer thread may call try_pop/peek; producers only
 //    push. approx_size is safe from any thread.
+//
+// The single-consumer contract is a capability, not a lock: try_pop and
+// peek require the queue's consumer Role (common/annotate.hh), claimed
+// with a stack RoleGuard at the consumer's entry point. Under clang
+// -Wthread-safety a consumer-side call without the role held is a
+// compile error; everywhere else the annotations vanish.
 #ifndef PEQUOD_COMMON_MPSC_QUEUE_HH
 #define PEQUOD_COMMON_MPSC_QUEUE_HH
 
@@ -29,6 +35,8 @@
 #include <cstddef>
 #include <thread>
 #include <utility>
+
+#include "common/annotate.hh"
 
 namespace pequod {
 
@@ -103,9 +111,15 @@ class MpscQueue {
         prev->next.store(n, std::memory_order_release);
     }
 
+    // The phantom capability standing for "I am this queue's single
+    // consumer". Claim it with RoleGuard around consumer-side calls.
+    Role& consumer_role() const PQ_RETURN_CAPABILITY(consumer_role_) {
+        return consumer_role_;
+    }
+
     // Consumer thread only. False when nothing is linked yet (see the
     // in-flight caveat above).
-    bool try_pop(T& out) {
+    bool try_pop(T& out) PQ_REQUIRES(consumer_role_) {
         Node* next = head_->next.load(std::memory_order_acquire);
         if (!next)
             return false;
@@ -121,7 +135,7 @@ class MpscQueue {
     // consuming it — how the shard scheduler reads a queued frame's
     // virtual-time stamp before deciding to run it. Null when nothing is
     // linked.
-    const T* peek() const {
+    const T* peek() const PQ_REQUIRES(consumer_role_) {
         Node* next = head_->next.load(std::memory_order_acquire);
         return next ? &next->value : nullptr;
     }
@@ -133,9 +147,13 @@ class MpscQueue {
     };
 
     // Producers contend on tail_; the consumer owns head_. Separate
-    // cache lines so pops do not bounce the producers' line.
+    // cache lines so pops do not bounce the producers' line. head_ is
+    // guarded by the consumer role — only the capability holder may
+    // touch it (the ctor/dtor run single-threaded and are exempt from
+    // clang's capability analysis by design).
     alignas(64) std::atomic<Node*> tail_;
-    alignas(64) Node* head_;
+    alignas(64) Node* head_ PQ_GUARDED_BY(consumer_role_);
+    mutable Role consumer_role_;
     alignas(64) std::atomic<size_t> size_{0};
     size_t capacity_ = 0;  // 0 == unbounded
 };

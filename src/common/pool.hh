@@ -17,6 +17,7 @@
 #include <new>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/validate.hh"
 #if PEQUOD_VALIDATE
 #include <unordered_set>
@@ -34,7 +35,10 @@ class NodePool {
     NodePool(const NodePool&) = delete;
     NodePool& operator=(const NodePool&) = delete;
 
-    void* allocate(size_t n) {
+    // The pool IS the sanctioned allocator for tree nodes (§8): the warm
+    // case pops a free list; the slab refill and the oversize
+    // fall-through to ::operator new are its cold paths.
+    PQ_COLDPATH void* allocate(size_t n) {
         if (n > kMaxBlock)
             return ::operator new(n);
         size_t c = size_class(n);

@@ -86,7 +86,7 @@ class RangeSet {
     // is non-empty, only the last range may extend to +infinity, and
     // consecutive ranges are strictly separated (overlapping or adjacent
     // ranges must have been coalesced by add). Throws InvariantError.
-    void verify() const {
+    PQ_COLDPATH void verify() const {
         const std::string* prev_hi = nullptr;
         for (const auto& range : ranges_) {
             if (prev_hi && prev_hi->empty())

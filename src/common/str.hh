@@ -23,6 +23,8 @@
 #include <ostream>
 #include <string>
 
+#include "common/annotate.hh"
+
 namespace pequod {
 
 class Str {
@@ -219,7 +221,9 @@ class KeyBuf {
     }
 
   private:
-    void grow(size_t need) {
+    // Spill to the heap when a key outgrows the inline buffer — the
+    // sanctioned cold path out of the §8 no-alloc contract.
+    PQ_COLDPATH void grow(size_t need) {
         size_t cap = cap_ * 2;
         while (cap < need)
             cap *= 2;

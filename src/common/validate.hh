@@ -16,6 +16,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/annotate.hh"
+
 namespace pequod {
 
 // A structural invariant does not hold. The message names the structure
@@ -26,8 +28,8 @@ class InvariantError : public std::logic_error {
         : std::logic_error(what) {}
 };
 
-[[noreturn]] inline void invariant_fail(const char* where,
-                                        const std::string& detail) {
+[[noreturn]] PQ_COLDPATH inline void invariant_fail(
+        const char* where, const std::string& detail) {
     // Failure path: allocation cost is irrelevant. pqlint: allow(hot-string)
     throw InvariantError(std::string(where) + ": " + detail);
 }

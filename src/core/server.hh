@@ -33,6 +33,7 @@
 #include <thread>
 #endif
 
+#include "common/annotate.hh"
 #include "common/base.hh"
 #include "common/fnref.hh"
 #include "common/str.hh"
@@ -81,17 +82,17 @@ class Server {
 
     // Install a join; throws std::runtime_error on a malformed spec, an
     // already-owned sink table, a join cycle, or a read of a pull sink.
-    void add_join(const std::string& spec);
+    PQ_REQUIRES_OWNER void add_join(const std::string& spec);
 
-    void put(Str key, Str value);
+    PQ_REQUIRES_OWNER void put(Str key, Str value);
 
     // The shard worker's batched drain entry (§12): apply a decoded
     // frame's puts in arrival order, reusing one WriteHint across the
     // batch so consecutive writes into the same table skip the directory
     // lookup and most of the tree descent. Exactly equivalent to calling
     // put() per item.
-    void put_batch(const std::vector<std::pair<std::string,
-                                               std::string>>& items);
+    PQ_REQUIRES_OWNER void put_batch(
+        const std::vector<std::pair<std::string, std::string>>& items);
 
     // Single-owner discipline (§12): a shard worker claims its Server by
     // calling this from the worker thread. In checked builds
@@ -106,7 +107,7 @@ class Server {
     // Visit entries in [lo, hi) in key order, materializing join output
     // first when needed. f(const std::string& key, const ValuePtr&).
     template <typename F>
-    void scan(Str lo, Str hi, F&& f) {
+    PQ_REQUIRES_OWNER void scan(Str lo, Str hi, F&& f) {
         FnRef<void(const std::string&, const ValuePtr&)> ref(f);
         scan_impl(lo, hi, ref);
     }
@@ -130,7 +131,7 @@ class Server {
     // without perturbing what is cached. f(const std::string&, const
     // Entry&).
     template <typename F>
-    void scan_stored(Str lo, Str hi, F&& f) {
+    PQ_REQUIRES_OWNER void scan_stored(Str lo, Str hi, F&& f) {
         RawRef ref(f);
         raw_scan(lo, hi, ref);
     }
@@ -141,7 +142,7 @@ class Server {
     // cascading through chained joins — so the affected output
     // re-materializes via scan instead of serving possibly-stale data.
     // Returns the number of updaters torn down.
-    size_t invalidate_range(Str lo, Str hi);
+    PQ_REQUIRES_OWNER size_t invalidate_range(Str lo, Str hi);
 
     // Aggregated over the root table and every routed table.
     MemoryStats memory_stats() const;
@@ -156,7 +157,7 @@ class Server {
     // neither leak a buffer nor free one early. Throws InvariantError.
     // Checked-build mode (-DPEQUOD_VALIDATE=ON) runs this automatically
     // after every invalidation cascade.
-    void verify() const;
+    PQ_COLDPATH void verify() const;
 
     // Introspection, mostly for tests and stats reporting.
     size_t table_count() const {
@@ -224,7 +225,7 @@ class Server {
     TableMap::iterator first_overlapping(Str lo);
     Table& make_table(const std::string& prefix);
     Table* route(Str key, WriteHint* hint);
-    Entry* write(Str key, Str value, WriteHint* hint);
+    PQ_NOALLOC Entry* write(Str key, Str value, WriteHint* hint);
     // Store `src`'s value under `key` by reference (value sharing) or by
     // copy, per config_.enable_value_sharing.
     Entry* write_emitted(Str key, const Entry& src, WriteHint* hint);
@@ -233,8 +234,13 @@ class Server {
     void raw_scan(Str lo, Str hi, const RawRef& f);
     void freshen(Str lo, Str hi);
     void freshen_table(Table& sink_table, Str lo, Str hi);
-    void execute(Table& sink_table, int source_index, const SlotSet& ss,
-                 bool install_updaters, const EmitRef& emit);
+    // Join execution: scans source ranges, installs updaters, emits
+    // sink rows. Reached from a put only when a brand-new check-source
+    // key installs fresh copy ranges — materialization machinery, cold
+    // relative to the eager-update chain (§8), and free to allocate.
+    PQ_COLDPATH void execute(Table& sink_table, int source_index,
+                             const SlotSet& ss, bool install_updaters,
+                             const EmitRef& emit);
     void apply_update(Updater& u, Str key, const Entry& stored,
                       bool inserted);
     void pull_scan(Table& sink_table, Str lo, Str hi, const ScanRef& f);

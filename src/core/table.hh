@@ -114,7 +114,7 @@ class Table {
     // every materialized (valid) range lies inside the block too, so a
     // scan that trusts the valid set can only be served keys this table
     // actually owns. Throws InvariantError on the first break.
-    void verify() const {
+    PQ_COLDPATH void verify() const {
         store_.verify();
         updaters_.verify();
         if (!prefix_.empty()) {

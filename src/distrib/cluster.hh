@@ -151,7 +151,11 @@ class BaseServer : public Node {
 
   private:
     void handle(int from, net::Message&& m) override;
-    void handle_put(const std::string& key, const std::string& value);
+    // Sync-on-ack (§13): the synchronous RPC return IS the ack, so the
+    // handler flushes for itself after journaling — pqcheck's
+    // flush-before-ack rule verifies the self-flushing shape.
+    PQ_RELEASES_ACK void handle_put(const std::string& key,
+                                    const std::string& value);
     void handle_subscribe(int from, const std::string& lo,
                           const std::string& hi, uint64_t epoch);
     void handle_ping(int from);

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/base.hh"
 #include "common/str.hh"
 
@@ -137,7 +138,7 @@ class Pattern {
     // (zero allocation; the bindings share `key`'s lifetime). Slots
     // already bound in `ss` must match the key byte-for-byte. False on
     // any mismatch, including a width mismatch or trailing key bytes.
-    bool match(Str key, SlotSet& ss) const;
+    PQ_NOALLOC bool match(Str key, SlotSet& ss) const;
 
     // The slots that every key in [lo, hi) provably agrees on, taken from
     // the longest prefix of `lo` that is constant across the range. The
@@ -151,9 +152,10 @@ class Pattern {
     // Append the key for a fully bound slot set to `out` (cleared first);
     // throws if a slot this pattern uses is unbound. Allocation-free
     // while the key fits the KeyBuf's capacity.
-    void expand(const SlotSet& ss, KeyBuf& out) const;
-    // Convenience for cold paths and tests.
-    std::string expand(const SlotSet& ss) const {
+    PQ_NOALLOC void expand(const SlotSet& ss, KeyBuf& out) const;
+    // Allocating convenience for cold paths and tests. Named apart from
+    // expand() so the PQ_NOALLOC contract stays on one symbol.
+    std::string expand_str(const SlotSet& ss) const {
         KeyBuf buf;
         expand(ss, buf);
         return buf.view().str();

@@ -25,6 +25,7 @@
 #include <memory>
 #include <string>
 
+#include "common/annotate.hh"
 #include "common/fnref.hh"
 #include "common/str.hh"
 #include "persist/blockstore.hh"
@@ -72,7 +73,7 @@ class Persistence {
     // Durability barrier: everything logged before flush() survives any
     // subsequent crash. Tiers call it before acknowledging (distrib) or
     // at frame boundaries (shard).
-    void flush() {
+    PQ_FLUSHES_WAL void flush() {
         wal_.flush();
     }
 

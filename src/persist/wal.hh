@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/fnref.hh"
 #include "common/str.hh"
 #include "net/buffer.hh"
@@ -108,7 +109,7 @@ class Wal {
     // Group-commit barrier: write the batch, fsync (per config), and
     // advance durable_ops. After flush() returns, every append before it
     // survives any crash.
-    void flush();
+    PQ_FLUSHES_WAL void flush();
 
     // Force rotation to a fresh segment (flushing first) and return its
     // index — the checkpoint cut: records at or after this segment are

@@ -212,11 +212,13 @@ const Frame* ShardedServer::peek_frame(int s) const {
     const ShardState& st = *shards_[static_cast<size_t>(s)];
     if (!st.deferred.empty())
         return &st.deferred.front();
+    RoleGuard consumer(st.mailbox.consumer_role());
     return st.mailbox.peek();
 }
 
 bool ShardedServer::step(int s) {
     ShardState& st = *shards_[static_cast<size_t>(s)];
+    RoleGuard consumer(st.mailbox.consumer_role());
     Frame f;
     bool worked = false;
     if (!st.deferred.empty()) {
@@ -444,6 +446,7 @@ void ShardedServer::subscribe_to(int s, int owner, Str lo, Str hi) {
     st.waiting_nonces.insert(sub.epoch);
     while (!st.completed_nonces.count(sub.epoch)) {
         Frame in;
+        RoleGuard consumer(st.mailbox.consumer_role());
         if (!st.mailbox.try_pop(in)) {
             std::this_thread::yield();
             continue;

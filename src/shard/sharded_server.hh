@@ -124,8 +124,8 @@ class ShardClient {
     // shard (each filters to keys it owns) and will produce one reply
     // frame per shard under the same ticket; frames_for_last_scan()
     // reports how many.
-    uint64_t submit_put(Str key, Str value);
-    uint64_t submit_scan(Str lo, Str hi);
+    PQ_CLIENT_CONTEXT uint64_t submit_put(Str key, Str value);
+    PQ_CLIENT_CONTEXT uint64_t submit_scan(Str lo, Str hi);
     int frames_for_last_scan() const {
         return last_scan_frames_;
     }
@@ -133,7 +133,7 @@ class ShardClient {
     // Ship every pending batch to its shard mailbox, stamped with
     // `stamp` (virtual arrival time; 0 under real threads). Blocks when
     // a mailbox is at capacity.
-    void flush(uint64_t stamp = 0);
+    PQ_CLIENT_CONTEXT void flush(uint64_t stamp = 0);
     size_t pending_ops() const {
         return pending_ops_;
     }
@@ -141,10 +141,12 @@ class ShardClient {
     // Completions: puts complete through poll_completion; scans complete
     // through poll_reply (the reply frame's stamp is the completion
     // time). Both are non-blocking; false when nothing has arrived.
-    bool poll_completion(Completion& out) {
+    PQ_CLIENT_CONTEXT bool poll_completion(Completion& out) {
+        RoleGuard guard(completions_.consumer_role());
         return completions_.try_pop(out);
     }
-    bool poll_reply(Frame& out) {
+    PQ_CLIENT_CONTEXT bool poll_reply(Frame& out) {
+        RoleGuard guard(replies_.consumer_role());
         return replies_.try_pop(out);
     }
 
@@ -178,7 +180,7 @@ class ShardedServer {
 
     // Pre-start bulk load: route `key` directly into its owning shard's
     // Server, no framing. For graph edges and prepopulated data.
-    void load(Str key, Str value);
+    PQ_QUIESCENT_CONTEXT void load(Str key, Str value);
 
     // --- real-thread mode -------------------------------------------------
     void start();      // one worker thread per shard
@@ -195,14 +197,15 @@ class ShardedServer {
     // becomes visible until release_staged(s, vt) stamps the staged
     // output with the shard's virtual completion time. Returns whether
     // anything was done.
-    bool has_work(int s) const;
-    const Frame* peek_frame(int s) const;
-    bool step(int s);
-    void release_staged(int s, uint64_t vt);
+    PQ_WORKER_CONTEXT bool has_work(int s) const;
+    PQ_WORKER_CONTEXT const Frame* peek_frame(int s) const;
+    PQ_WORKER_CONTEXT bool step(int s);
+    PQ_WORKER_CONTEXT PQ_RELEASES_ACK void release_staged(int s,
+                                                          uint64_t vt);
 
     // Introspection (tests, benches). server() may only be touched when
     // no workers run.
-    Server& server(int s) {
+    PQ_QUIESCENT_CONTEXT Server& server(int s) {
         return shards_[static_cast<size_t>(s)]->server;
     }
     const ShardStats& stats(int s) const {
@@ -220,7 +223,7 @@ class ShardedServer {
     bool persistent() const {
         return config_.persist.enabled();
     }
-    bool checkpoint_shard(int s);
+    PQ_QUIESCENT_CONTEXT bool checkpoint_shard(int s);
     const persist::RecoverResult* last_recovery(int s) const {
         const ShardState& st = *shards_[static_cast<size_t>(s)];
         return st.persist ? &st.recovery : nullptr;
@@ -306,26 +309,31 @@ class ShardedServer {
 
     void install_joins(Server& server);
     MpscQueue<Frame>& shard_mailbox(int s);
-    void worker_loop(int s);
+    PQ_WORKER_CONTEXT void worker_loop(int s);
     // Apply one mailbox frame's batch. `in_wait_loop` marks re-entrant
     // servicing from inside a blocked subscribe (worker mode): protocol
     // frames are applied, client frames deferred.
-    void apply_frame(int s, Frame&& frame, bool in_wait_loop);
-    void apply_message(int s, int from, net::Message&& m);
-    void handle_client_put(int s, int client, net::Message&& m);
-    void handle_client_scan(int s, int client, net::Message&& m);
-    void handle_subscribe(int s, int from, const net::Message& m);
-    void handle_notify(int s, net::Message&& m);
+    PQ_WORKER_CONTEXT void apply_frame(int s, Frame&& frame,
+                                       bool in_wait_loop);
+    PQ_WORKER_CONTEXT void apply_message(int s, int from, net::Message&& m);
+    PQ_WORKER_CONTEXT void handle_client_put(int s, int client,
+                                             net::Message&& m);
+    PQ_WORKER_CONTEXT void handle_client_scan(int s, int client,
+                                              net::Message&& m);
+    PQ_WORKER_CONTEXT void handle_subscribe(int s, int from,
+                                            const net::Message& m);
+    PQ_WORKER_CONTEXT void handle_notify(int s, net::Message&& m);
     // Fired by shard `s`'s engine before consulting a source range:
     // subscribe+backfill any remote, not-yet-replicated part.
-    void will_scan_source(int s, Str lo, Str hi);
-    void subscribe_to(int s, int owner, Str lo, Str hi);
-    void stage_notifies(int s, Str key, Str value);
-    void flush_pending_notify(int s, int dest);
-    void flush_all_pending(int s);
-    void stage_message(int s, int dest, const net::Message& m);
+    PQ_WORKER_CONTEXT void will_scan_source(int s, Str lo, Str hi);
+    PQ_WORKER_CONTEXT void subscribe_to(int s, int owner, Str lo, Str hi);
+    PQ_WORKER_CONTEXT void stage_notifies(int s, Str key, Str value);
+    PQ_WORKER_CONTEXT void flush_pending_notify(int s, int dest);
+    PQ_WORKER_CONTEXT void flush_all_pending(int s);
+    PQ_WORKER_CONTEXT void stage_message(int s, int dest,
+                                         const net::Message& m);
     // Ship staged output immediately (worker mode shorthand).
-    void release_now(int s);
+    PQ_WORKER_CONTEXT PQ_RELEASES_ACK void release_now(int s);
 
     // True when `key` lands in a join sink table (derived, never
     // persisted).

@@ -47,13 +47,17 @@ Store::Subtable* Store::find_or_make_subtable(Str group) {
         return hit->second;
     // First touch of a group: creating the subtable owns the prefix
     // bytes; every later write hits the transparent index above instead.
+    // First touch of a group allocates its directory entry; every
+    // later put hits the index probe. pqcheck: allow(no-alloc)
     auto ins = tables_.emplace(group.str(), Subtable(pool_.get()));  // pqlint: allow(hot-string)
     Subtable* sub = &ins.first->second;
     if (ins.second) {
+        // pqcheck: allow(no-alloc)
         sub->prefix = group.str();  // pqlint: allow(hot-string)
         ++stats_.subtable_count;
         stats_.structure_bytes += kSubtableOverhead + 2 * group.size();
     }
+    // pqcheck: allow(no-alloc)
     table_index_.emplace(group.str(), sub);  // pqlint: allow(hot-string)
     return sub;
 }
@@ -94,6 +98,9 @@ Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
     size_t before = tree.size();
     Tree::iterator it;
     if (use_hint) {
+        // A genuinely new entry owns its key bytes and a pool node;
+        // the zero-allocation contract is the overwrite path (§8),
+        // which constructs nothing. pqcheck: allow(no-alloc)
         it = tree.emplace_hint(
             hint_pos, std::piecewise_construct,
             std::forward_as_tuple(key.data(), key.size()),
@@ -102,6 +109,7 @@ Entry* Store::insert_into(Tree& tree, bool use_hint, Tree::iterator hint_pos,
         // Probe with the Str first: an overwrite then constructs nothing.
         it = tree.lower_bound(key);
         if (it == tree.end() || Str(it->first) != key)
+            // pqcheck: allow(no-alloc) -- new entry, as above
             it = tree.emplace_hint(
                 it, std::piecewise_construct,
                 std::forward_as_tuple(key.data(), key.size()),

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotate.hh"
 #include "common/base.hh"
 #include "common/pool.hh"
 #include "common/str.hh"
@@ -47,6 +48,8 @@ class SharedValue {
         return s_;
     }
     void assign(Str v) {
+        // Shared buffers, like inline values, reuse capacity on
+        // overwrite. pqcheck: allow(no-alloc)
         s_.assign(v.data(), v.size());
     }
     uint32_t refs() const {
@@ -99,6 +102,8 @@ class Entry {
         if (sv_)
             sv_->assign(v);
         else
+            // Owned value bytes: assign reuses capacity and grows only
+            // when the new value is longer. pqcheck: allow(no-alloc)
             value_.assign(v.data(), v.size());
     }
 
@@ -107,6 +112,10 @@ class Entry {
     // (the observable value is identical), hence const + mutable members.
     SharedValue* share_value() const {
         if (!sv_) {
+            // One-time representation upgrade: the first share of an
+            // entry promotes its inline bytes into a refcounted buffer;
+            // every later share is a refcount bump.
+            // pqcheck: allow(no-alloc)
             sv_ = new SharedValue(std::move(value_));
             owns_ = true;
         }
@@ -232,8 +241,8 @@ class Store {
     // Insert or overwrite. Returns the stored entry. With `hint`, tries
     // the hinted tree/position first and refreshes the hint afterwards.
     // `inserted` (when non-null) reports whether the key was new.
-    Entry* put(Str key, Str value, Hint* hint = nullptr,
-               bool* inserted = nullptr);
+    PQ_NOALLOC Entry* put(Str key, Str value, Hint* hint = nullptr,
+                          bool* inserted = nullptr);
 
     // Insert or overwrite with a shared value buffer (§4.3): the entry
     // adopts one reference to `sv` (the caller's reference is consumed)
@@ -268,7 +277,7 @@ class Store {
     // every subtable key belongs to its group, the hash index agrees
     // with the directory, and the node pool's free lists are sound.
     // Throws InvariantError on the first break.
-    void verify() const;
+    PQ_COLDPATH void verify() const;
 
   private:
     // Estimated allocator cost beyond payload bytes: a red-black node

@@ -158,6 +158,7 @@ TEST(ShardMailbox, CapacityBoundsAndPeek) {
     q.push_force(3);
     EXPECT_EQ(q.approx_size(), 3u);
 
+    RoleGuard consumer(q.consumer_role());
     ASSERT_NE(q.peek(), nullptr);
     EXPECT_EQ(*q.peek(), 1);  // peek does not consume
     int out = 0;

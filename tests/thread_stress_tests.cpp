@@ -66,6 +66,7 @@ TEST(MpscQueue, PerProducerFifoUnderContention) {
     // interleave with pushes instead of draining a finished queue.
     std::vector<uint64_t> next_seq(kProducers, 0);
     uint64_t received = 0;
+    RoleGuard consumer(queue.consumer_role());
     while (received != kProducers * kPerProducer) {
         uint64_t item;
         if (!queue.try_pop(item)) {

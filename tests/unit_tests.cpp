@@ -91,7 +91,7 @@ TEST(Str, OwnedSlotsOutliveTheMatchedKey) {
     EXPECT_EQ(view[slots.find("user")], Str("ann"));
     EXPECT_EQ(view[slots.find("time")], Str("0000000100"));
     EXPECT_EQ(view[slots.find("poster")], Str("bob"));
-    EXPECT_EQ(p.expand(view), "t|ann|0000000100|bob");
+    EXPECT_EQ(p.expand_str(view), "t|ann|0000000100|bob");
 }
 
 TEST(Str, KeyBufAppendsAndGrows) {
@@ -132,7 +132,7 @@ TEST(Pattern, ParseMatchRoundTrip) {
     EXPECT_EQ(ss[slots.find("user")], "ann");
     EXPECT_EQ(ss[slots.find("time")], "0000000100");
     EXPECT_EQ(ss[slots.find("poster")], "bob");
-    EXPECT_EQ(p.expand(ss), "t|ann|0000000100|bob");
+    EXPECT_EQ(p.expand_str(ss), "t|ann|0000000100|bob");
 }
 
 TEST(Pattern, WidthMismatchRejected) {

@@ -1,0 +1,56 @@
+// Fixture: clean. Every contract observed at once -- a correctly
+// ordered shard pipeline must produce zero findings, so the analyzer's
+// false-positive floor is pinned by this case.
+
+struct Frame {
+    int key;
+};
+
+struct Mailbox {
+    void push(const Frame& f);
+    bool try_pop(Frame& f);
+};
+
+struct MiniWal {
+    PQ_FLUSHES_WAL void flush() {
+        pending_ = 0;
+    }
+    void append_put(int key) {
+        pending_ += key;
+    }
+    int pending_ = 0;
+};
+
+struct MiniServer {
+    PQ_REQUIRES_OWNER PQ_NOALLOC void put(int key, int value) {
+        slots_[key & 7] = value;
+    }
+    int slots_[8] = {0};
+};
+
+struct MiniShard {
+    MiniWal wal;
+    MiniServer server;
+
+    PQ_RELEASES_ACK void release_staged() {
+        released_ += 1;
+    }
+
+    PQ_WORKER_CONTEXT void step(Mailbox& m) {
+        Frame f;
+        while (m.try_pop(f)) {
+            server.put(f.key, f.key);
+            wal.append_put(f.key);
+        }
+        wal.flush();
+        release_staged();
+    }
+
+    int released_ = 0;
+};
+
+struct Client {
+    PQ_CLIENT_CONTEXT void submit(Mailbox& m, int key) {
+        m.push(Frame{key});
+    }
+};

@@ -1,0 +1,66 @@
+// Fixture: flush-before-ack. Releasing a staged completion without a
+// dominating WAL flush is the §13 violation; flushing first is fine,
+// and a self-flushing releaser (flush after its last append) exempts
+// its call sites.
+
+struct MiniWal {
+    PQ_FLUSHES_WAL void flush() {
+        pending_ = 0;
+    }
+    void append_put(int key) {
+        pending_ += key;
+    }
+    int pending_ = 0;
+};
+
+struct MiniShard {
+    MiniWal wal;
+
+    PQ_RELEASES_ACK void release_staged() {
+        released_ += 1;
+    }
+
+    // Journals but does not flush: callers own the flush obligation.
+    void handle(int key) {
+        wal.append_put(key);
+    }
+
+    // BAD: the completion is client-visible before the record is
+    // durable -- a crash here acks a write it then forgets.
+    void step_bad(int key) {
+        handle(key);
+        release_staged();  // pqcheck-expect: flush-before-ack
+    }
+
+    // OK: flush dominates the release.
+    void step_ok(int key) {
+        handle(key);
+        wal.flush();
+        release_staged();
+    }
+
+    int released_ = 0;
+};
+
+struct MiniBase {
+    MiniWal wal;
+
+    // OK: a self-flushing releaser -- the sync-on-ack shape of
+    // distrib's handle_put. Call sites carry no obligation.
+    PQ_RELEASES_ACK void handle_put_ok(int key) {
+        wal.append_put(key);
+        wal.flush();
+    }
+
+    // BAD: journals after its last flush, so the ack it releases can
+    // name an undurable record.
+    PQ_RELEASES_ACK void handle_put_bad(int key) {  // pqcheck-expect: flush-before-ack
+        wal.flush();
+        wal.append_put(key);
+    }
+
+    // OK: calling a self-flushing releaser needs no local flush.
+    void serve(int key) {
+        handle_put_ok(key);
+    }
+};

@@ -1,0 +1,63 @@
+// Fixture: owner-confinement. A client-context root reaching an
+// owner-required mutator without a mailbox or quiescent boundary must
+// be flagged; the mailbox hand-off and the worker-side call must not.
+
+struct Frame {
+    int key;
+};
+
+struct Mailbox {
+    void push(const Frame& f);
+    bool try_pop(Frame& f);
+};
+
+struct MiniServer {
+    PQ_REQUIRES_OWNER void put(int key, int value) {
+        last_ = value;
+        (void)key;
+    }
+    int last_ = 0;
+};
+
+// Unannotated plumbing: reachable from the client root, so the walk
+// descends through it and flags the owner-required call inside.
+static void poke(MiniServer& s) {
+    s.put(7, 7);  // pqcheck-expect: owner-confinement
+}
+
+struct Client {
+    // BAD: a client thread mutating the server directly -- the §12
+    // bug class TSan samples for.
+    PQ_CLIENT_CONTEXT void submit_direct(MiniServer& s) {
+        s.put(1, 2);  // pqcheck-expect: owner-confinement
+    }
+
+    // BAD (two hops): the path client -> poke -> put is still
+    // client-context all the way down.
+    PQ_CLIENT_CONTEXT void submit_via_helper(MiniServer& s) {
+        poke(s);
+    }
+
+    // OK: the client only posts a frame; the worker drains it.
+    PQ_CLIENT_CONTEXT void submit_posted(Mailbox& m) {
+        m.push(Frame{3});
+    }
+};
+
+struct Worker {
+    // OK: worker context owns the server; calls from here are the
+    // sanctioned path, and traversal from client roots stops at the
+    // worker boundary.
+    PQ_WORKER_CONTEXT void drain(Mailbox& m, MiniServer& s) {
+        Frame f;
+        while (m.try_pop(f))
+            s.put(f.key, f.key);
+    }
+};
+
+struct Loader {
+    // OK: quiescent context (bulk load; no workers live).
+    PQ_QUIESCENT_CONTEXT void load(MiniServer& s) {
+        s.put(0, 0);
+    }
+};

@@ -1,0 +1,30 @@
+// Fixture: rename-sync. Publishing a name via rename_file before the
+// bytes behind it are fsynced can, after a crash, leave a manifest
+// that points at data the disk never saw. The fsync (and the
+// directory sync after) are the persist-tier atomic-replace contract.
+
+struct MiniFile {
+    void write(const char* bytes, int n) {
+        written_ += n;
+        (void)bytes;
+    }
+    void fsync() {
+        synced_ = true;
+    }
+    int written_ = 0;
+    bool synced_ = false;
+};
+
+// BAD: rename with nothing synced -- the classic torn publish.
+void store_manifest_bad(MiniFile& f) {
+    f.write("manifest", 8);
+    rename_file("MANIFEST.tmp", "MANIFEST");  // pqcheck-expect: rename-sync
+}
+
+// OK: data fsync dominates the rename; directory sync seals it.
+void store_manifest_ok(MiniFile& f) {
+    f.write("manifest", 8);
+    f.fsync();
+    rename_file("MANIFEST.tmp", "MANIFEST");
+    sync_dir(".");
+}

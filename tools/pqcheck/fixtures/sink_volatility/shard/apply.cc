@@ -1,0 +1,54 @@
+// Fixture: regression model of the PR 9 sink-prefix volatility class.
+// The worker applies a frame of puts, journals the base-table writes
+// (sink-prefix keys are rebuilt from the base on recovery, so they are
+// deliberately not logged), and must flush before the staged
+// completions go client-visible. Releasing first is exactly the bug
+// the crash loop caught dynamically; the rule must catch it statically.
+
+struct MiniWal {
+    PQ_FLUSHES_WAL void flush() {
+        flushes_ += 1;
+    }
+    void append_put(int key) {
+        appended_ += 1;
+        (void)key;
+    }
+    int flushes_ = 0;
+    int appended_ = 0;
+};
+
+static bool sink_prefixed(int key) {
+    return key < 0;
+}
+
+struct MiniWorker {
+    MiniWal wal;
+
+    PQ_RELEASES_ACK void release_now() {
+        released_ += 1;
+    }
+
+    void apply_message(int key) {
+        applied_ += 1;
+        if (!sink_prefixed(key))
+            wal.append_put(key);
+    }
+
+    // BAD: completions released while the frame's base records are
+    // still only in the WAL buffer; the flush lands after the ack.
+    void apply_frame_bad(int key) {
+        apply_message(key);
+        release_now();  // pqcheck-expect: flush-before-ack
+        wal.flush();
+    }
+
+    // OK: the §13 ordering -- apply, flush, then release.
+    void apply_frame_ok(int key) {
+        apply_message(key);
+        wal.flush();
+        release_now();
+    }
+
+    int applied_ = 0;
+    int released_ = 0;
+};

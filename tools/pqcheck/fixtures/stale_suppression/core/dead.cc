@@ -1,0 +1,19 @@
+// Fixture: stale-suppression. An allow() that stops suppressing
+// anything must fail the run, or dead exemptions pile up and hide the
+// day the rule would have fired for real.
+
+struct Quiet {
+    // This function allocated once; the allocation was removed but the
+    // exemption stayed behind. pqcheck flags the comment itself.
+    PQ_NOALLOC void hot(int k) {
+        total_ += k;  // pqcheck: allow(no-alloc) pqcheck-expect: stale-suppression
+    }
+
+    // A live suppression for contrast: still suppressing, not stale.
+    PQ_NOALLOC void hot_capped(int k) {
+        capped_.push_back(k);  // pqcheck: allow(no-alloc)
+    }
+
+    int total_ = 0;
+    std::vector<int> capped_;
+};

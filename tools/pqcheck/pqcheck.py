@@ -1,0 +1,1103 @@
+#!/usr/bin/env python3
+"""pqcheck -- call-graph-aware semantic analyzer for the Pequod tree.
+
+Where pqlint checks tokens and declarations, pqcheck builds a cross-TU
+call graph and checks *paths*: the invariants of DESIGN.md sections 8,
+12 and 13 that only hold (or break) across function boundaries. Rule
+families (contracts in DESIGN.md section 14):
+
+  owner-confinement   Functions annotated PQ_REQUIRES_OWNER may only be
+                      reached from a PQ_CLIENT_CONTEXT root through a
+                      PQ_WORKER_CONTEXT or PQ_QUIESCENT_CONTEXT boundary
+                      (a mailbox hand-off or a documented quiescent
+                      window). A direct client-side call path into an
+                      owner-required function is the §12 bug class the
+                      TSan stress suite samples for; this proves its
+                      absence on the static graph.
+  flush-before-ack    Every call site of a PQ_RELEASES_ACK function in
+                      src/distrib|src/shard must be dominated by a call
+                      whose transitive closure reaches a PQ_FLUSHES_WAL
+                      function -- unless the releaser flushes for
+                      itself (its own body ends with a flush after its
+                      last WAL append). The §13 sync-on-ack contract,
+                      checked statically.
+  rename-sync         Inside src/persist, a rename_file() call must be
+                      preceded in the same function by an fsync of what
+                      it publishes (File::fsync / sync_dir): rename
+                      before sync can publish a name whose bytes die in
+                      the crash.
+  no-alloc            The transitive callee closure of a PQ_NOALLOC
+                      entry point must contain no operator new, malloc,
+                      std::string construction, or growth-capable
+                      std:: container call, except inside PQ_COLDPATH
+                      callees (the sanctioned cold paths: pool refill,
+                      KeyBuf spill, error handling).
+  str-escape          A function must not return (or store through an
+                      out-param/member) a Str derived from a locally
+                      owned KeyBuf/std::string -- the slice dangles the
+                      moment the frame dies. Generalizes pqlint's
+                      str-member rule from declarations to dataflow.
+  stale-suppression   A `// pqcheck: allow(rule)` comment that no
+                      longer suppresses any finding is itself a
+                      violation, so dead exemptions cannot accumulate.
+
+A violation is suppressed by `// pqcheck: allow(<rule>)` on the same
+line or the line directly above (the mechanism, spelling and report
+schema are shared with pqlint). Every suppression is counted.
+
+Drive it from the compilation database the build already exports:
+
+  python3 tools/pqcheck/pqcheck.py --root src \\
+      --compdb build/compile_commands.json --json report.json
+
+--compdb cross-checks that every TU the build compiles under --root is
+on the analysis list (a file the build sees but pqcheck does not is an
+error) and supplies include paths to the libclang backend. Without it,
+--root alone scans every .cc/.hh under the root -- which is how the
+fixture corpus runs.
+
+When the clang.cindex Python bindings are installed, --use-libclang
+swaps the token frontend for a real libclang AST walk (annotations read
+from __attribute__((annotate)), calls from CALL_EXPR); without them the
+flag prints a note and falls back, so the gate behaves identically in
+containers without libclang. Both frontends feed the same call-graph
+rule engine.
+
+Exit status: 0 when every violation is suppressed, 1 otherwise, 2 on
+usage errors.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "pqlint"))
+from pqlint import strip_code  # noqa: E402  (shared lexer)
+
+RULES = ("owner-confinement", "flush-before-ack", "rename-sync",
+         "no-alloc", "str-escape", "stale-suppression")
+
+ALLOW_RE = re.compile(r"pqcheck:\s*allow\(([a-z\-,\s]+)\)")
+
+# Annotation macro -> canonical tag (the libclang backend reads the same
+# tags from __attribute__((annotate("pq::<tag>"))), see common/annotate.hh).
+ANNOTATIONS = {
+    "PQ_REQUIRES_OWNER": "requires_owner",
+    "PQ_WORKER_CONTEXT": "worker_context",
+    "PQ_CLIENT_CONTEXT": "client_context",
+    "PQ_QUIESCENT_CONTEXT": "quiescent_context",
+    "PQ_NOALLOC": "noalloc",
+    "PQ_COLDPATH": "coldpath",
+    "PQ_RELEASES_ACK": "releases_ack",
+    "PQ_FLUSHES_WAL": "flushes_wal",
+}
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "throw",
+    "new", "delete", "do", "else", "case", "default", "goto", "break",
+    "continue", "static_assert", "alignas", "alignof", "decltype",
+    "noexcept", "typeid", "assert", "defined", "static_cast",
+    "const_cast", "reinterpret_cast", "dynamic_cast", "co_return",
+    "co_await", "co_yield", "using", "typedef", "template", "typename",
+    "operator", "requires",
+}
+
+# Directory scoping (first path component under the analysis root).
+ACK_DIRS = ("shard", "distrib")
+RENAME_DIR = "persist"
+
+# Unresolved calls that allocate, or may grow a std:: container. A call
+# resolving to a repo function is walked instead of name-matched.
+ALLOC_CALLS = {
+    "malloc", "calloc", "realloc", "strdup", "make_unique", "make_shared",
+    "to_string", "str", "stoi", "stoull", "substr",
+}
+GROWTH_CALLS = {
+    "push_back", "emplace_back", "emplace", "emplace_hint", "insert",
+    "insert_or_assign", "resize", "reserve", "append", "assign",
+    "push_front", "emplace_front",
+}
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new T`, `new T[n]`, `new T{...}`
+STD_STRING_CTOR_RE = re.compile(r"\bstd::string\s*[({]")
+
+# Functions that append to the WAL (journaling events for the
+# self-flushing releaser check).
+JOURNAL_NAMES = {"append_put", "append_erase", "log_put", "log_erase"}
+# Event names accepted as a data-file sync for rename-sync.
+SYNC_NAMES = {"fsync", "sync_dir", "fdatasync"}
+
+
+class Call:
+    __slots__ = ("name", "cls", "chain", "pos", "line")
+
+    def __init__(self, name, cls, chain, pos, line):
+        self.name = name
+        self.cls = cls      # explicit X:: qualifier, or None
+        self.chain = chain  # receiver tokens for obj.member->name(), or
+        self.pos = pos      # None for a plain call; offset within body
+        self.line = line    # absolute line in the file
+
+
+class Func:
+    __slots__ = ("name", "cls", "qname", "file", "rel", "line", "anns",
+                 "ret", "params", "body", "body_line0", "calls",
+                 "has_body", "_locals")
+
+    def __init__(self, **kw):
+        self._locals = None
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+    def __repr__(self):
+        return "<Func %s %s:%d>" % (self.qname, self.rel, self.line)
+
+    def local_types(self):
+        """name -> declared type string, for params and body locals."""
+        if self._locals is None:
+            types = {}
+            for part in split_top_commas(self.params):
+                m = DECL_RE.match(part.strip())
+                if m:
+                    types[m.group(2)] = m.group(1)
+            for m in LOCAL_DECL_RE.finditer(self.body):
+                if m.group(1) in KEYWORDS or m.group(2) in KEYWORDS:
+                    continue  # `return foo;` is not a declaration
+                types.setdefault(m.group(2), m.group(1))
+            self._locals = types
+        return self._locals
+
+
+# `Type name`, with the type possibly templated / ref / pointer.
+CVQUAL = r"(?:(?:const|mutable|static|constexpr|inline|volatile)\s+)*"
+DECL_RE = re.compile(
+    CVQUAL + r"([A-Za-z_][\w:]*(?:<[^<>;(){}]{0,120}>)?)"
+    r"\s*[*&]*\s+([A-Za-z_]\w*)\s*(?:=.*)?$", re.S)
+LOCAL_DECL_RE = re.compile(
+    r"(?:^|[;{}])\s*" + CVQUAL +
+    r"([A-Za-z_][\w:]*(?:<[^<>;(){}]{0,120}>)?)"
+    r"\s*[*&]*\s+([a-z_]\w*)\s*[=;(]")
+
+
+def split_top_commas(text):
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+# ---- token frontend ---------------------------------------------------------
+
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\b")
+NAMESPACE_HEAD_RE = re.compile(r"\bnamespace\s+([A-Za-z_]\w*)?\s*$")
+CAND_RE = re.compile(
+    r"(?:(?P<qual>(?:[A-Za-z_]\w*\s*::\s*)+))?"
+    r"(?P<name>~?[A-Za-z_]\w*)\s*(?:<[^<>();]{0,80}>)?\s*\(")
+TAIL_RE = re.compile(
+    r"^\s*(?:(?:const|noexcept(?:\s*\([^()]*\))?|override|final|mutable"
+    r"|&&?|try)\s*)*(?:->\s*[\w:<>,\s&*]+?)?\s*(?::[\s\S]*)?$")
+PQ_MACRO_RE = re.compile(r"\bPQ_[A-Z_]+\b")
+
+
+def head_class_name(head):
+    """The declared name in a class/struct head, or None."""
+    m = CLASS_HEAD_RE.search(head)
+    if m is None or re.search(r"\benum\b", head[:m.start()]):
+        return None
+    rest = head[m.end():]
+    # Cut the base-clause; what remains is the name possibly wrapped in
+    # attribute macros (stripped literals leave empty parens).
+    rest = rest.split(":")[0]
+    rest = re.sub(r"\([^()]*\)", " ", rest)
+    names = [t for t in re.findall(r"[A-Za-z_]\w*", rest)
+             if not t.startswith("PQ_") and t not in ("final", "alignas")]
+    return names[-1] if names else None
+
+
+def match_paren(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def match_brace(text, open_pos):
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def parse_head_function(head):
+    """(qual, name, open, close, annotations) for a function head."""
+    if re.search(r"=\s*$", head):
+        return None
+    anns = {ANNOTATIONS[m] for m in PQ_MACRO_RE.findall(head)
+            if m in ANNOTATIONS}
+    for m in CAND_RE.finditer(head):
+        name = m.group("name")
+        if name in KEYWORDS or name.startswith("PQ_"):
+            continue
+        if "operator" in head[max(0, m.start() - 12):m.start()]:
+            return ("", "operator?", m.start(), len(head) - 1, anns)
+        open_pos = head.index("(", m.end() - 1)
+        close = match_paren(head, open_pos)
+        if close < 0:
+            continue
+        tail = head[close + 1:]
+        if not TAIL_RE.match(tail):
+            continue
+        qual = re.sub(r"\s+", "", m.group("qual") or "")
+        if qual.endswith("::"):
+            qual = qual[:-2]
+        return (qual, name, open_pos, close, anns)
+    return None
+
+
+USING_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;]+)$")
+
+
+def parse_file(path, root):
+    """Parse one stripped file into functions, annotations, and types."""
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    stripped, comments = strip_code(text)
+
+    line_starts = [0]
+    for i, c in enumerate(stripped):
+        if c == "\n":
+            line_starts.append(i + 1)
+
+    def line_of(off):
+        lo, hi = 0, len(line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if line_starts[mid] <= off:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    funcs = []
+    decl_anns = {}  # qname -> set of annotations (declarations only)
+    members = {}    # class -> {member name: type string}
+    aliases = {}    # class-or-"" -> {alias: type string}
+    scope = []      # (kind, name)
+
+    def cur_class():
+        return scope[-1][1] if scope and scope[-1][0] == "class" else None
+
+    i, n = 0, len(stripped)
+    head_start = 0
+    paren_depth = 0
+    while i < n:
+        c = stripped[i]
+        if c == "(":
+            paren_depth += 1
+        elif c == ")":
+            paren_depth = max(0, paren_depth - 1)
+        elif c == ";" and paren_depth == 0:
+            head = stripped[head_start:i]
+            um = USING_RE.search(head.strip())
+            sig = parse_head_function(head) if "(" in head else None
+            if um:
+                aliases.setdefault(cur_class() or "", {})[
+                    um.group(1)] = um.group(2).strip()
+            elif sig is not None:
+                qual, name, _o, _c, anns = sig
+                if anns:
+                    cls = qual.split("::")[-1] if qual else cur_class()
+                    qname = "%s::%s" % (cls, name) if cls else name
+                    decl_anns.setdefault(qname, set()).update(anns)
+            elif cur_class():
+                dm = DECL_RE.match(head.strip())
+                if dm and dm.group(1) not in ("return", "delete",
+                                              "typedef", "friend"):
+                    members.setdefault(cur_class(), {})[
+                        dm.group(2)] = dm.group(1)
+            head_start = i + 1
+        elif c == "{" and paren_depth == 0:
+            head = stripped[head_start:i]
+            nsm = NAMESPACE_HEAD_RE.search(head)
+            cls_name = head_class_name(head)
+            sig = None if (nsm or cls_name) else parse_head_function(head)
+            if nsm:
+                scope.append(("namespace", nsm.group(1) or ""))
+            elif cls_name:
+                scope.append(("class", cls_name))
+                members.setdefault(cls_name, {})
+            elif sig is not None:
+                qual, name, open_pos, close_pos, anns = sig
+                end = match_brace(stripped, i)
+                if end < 0:
+                    end = n - 1
+                body = stripped[i + 1:end]
+                cls = qual.split("::")[-1] if qual else cur_class()
+                qname = "%s::%s" % (cls, name) if cls else name
+                ret = head[:CAND_RE.search(head).start()] \
+                    if CAND_RE.search(head) else head
+                if name != "operator?":
+                    funcs.append(Func(
+                        name=name, cls=cls, qname=qname, file=path,
+                        rel=rel, line=line_of(head_start + _first_code(
+                            head)), anns=anns, ret=ret.strip(),
+                        params=head[open_pos + 1:close_pos],
+                        body=body, body_line0=line_of(i + 1),
+                        calls=extract_calls(body, i + 1, line_of),
+                        has_body=True))
+                i = end + 1
+                head_start = i
+                continue
+            else:
+                scope.append(("other", ""))
+            head_start = i + 1
+        elif c == "}":
+            if scope:
+                scope.pop()
+            head_start = i + 1
+        i += 1
+    return funcs, decl_anns, members, aliases, comments
+
+
+def _first_code(head):
+    m = re.search(r"\S", head)
+    return m.start() if m else 0
+
+
+CHAIN_RE = re.compile(
+    r"((?:(?:[A-Za-z_]\w*|\))(?:\[[^][]{0,80}\])?\s*(?:\.|->)\s*)+)$")
+
+
+def extract_calls(body, body_off, line_of):
+    calls = []
+    for m in CAND_RE.finditer(body):
+        name = m.group("name")
+        if name in KEYWORDS or name.startswith("PQ_"):
+            continue
+        qual = re.sub(r"\s+", "", m.group("qual") or "")
+        before = body[:m.start()]
+        chain = None
+        cm = CHAIN_RE.search(before)
+        if cm is not None:
+            # Receiver tokens, outermost first; a ')' link (chained call
+            # returns) makes the receiver type unknowable here.
+            if ")" in cm.group(1):
+                chain = []
+            else:
+                chain = re.findall(r"[A-Za-z_]\w*", cm.group(1))
+        if chain is None and not qual:
+            # `Type name(args)` is a declaration, not a call: the token
+            # before the name is a bare identifier/'>' with no operator.
+            prev = before.rstrip()
+            if prev and (prev[-1] == ">" or prev[-1].isalnum()
+                         or prev[-1] == "_"):
+                pm = re.search(r"([A-Za-z_]\w*)\s*$", prev)
+                if pm and pm.group(1) not in KEYWORDS:
+                    continue
+                if prev[-1] == ">":
+                    continue
+        cls = qual.split("::")[-2] if qual.endswith("::") else (
+            qual.split("::")[-1] if qual else None)
+        if cls in ("std", "net", "persist", "shard", "distrib", "pequod",
+                   "compare", ""):
+            cls = None
+        calls.append(Call(name, cls, chain, m.start(),
+                          line_of(body_off + m.start())))
+    return calls
+
+
+# ---- program / call graph ---------------------------------------------------
+
+SMART_PTR_RE = re.compile(
+    r"^(?:std\s*::\s*)?(?:unique_ptr|shared_ptr)\s*<\s*(.+?)\s*>?\s*$")
+INDEXABLE_RE = re.compile(
+    r"^(?:std\s*::\s*)?(?:vector|deque|array)\s*<\s*(.+?)\s*(?:,.*)?>?\s*$")
+
+
+class Program:
+    def __init__(self):
+        self.funcs = []
+        self.by_name = {}
+        self.anns = {}         # qname -> set
+        self.members = {}      # class -> {member: type string}
+        self.aliases = {}      # class-or-"" -> {alias: type string}
+        self.classes = set()
+        self.file_allows = {}  # rel -> {line: set(rules)}
+
+    def add_file(self, path, root):
+        funcs, decl_anns, members, aliases, comments = \
+            parse_file(path, root)
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        self.funcs.extend(funcs)
+        for f in funcs:
+            self.by_name.setdefault(f.name, []).append(f)
+            if f.cls:
+                self.classes.add(f.cls)
+            if f.anns:
+                self.anns.setdefault(f.qname, set()).update(f.anns)
+        for qname, anns in decl_anns.items():
+            self.anns.setdefault(qname, set()).update(anns)
+        for cls, mem in members.items():
+            self.classes.add(cls)
+            self.members.setdefault(cls, {}).update(mem)
+        for cls, al in aliases.items():
+            self.aliases.setdefault(cls, {}).update(al)
+        allows = {}
+        for lineno, line in enumerate(comments.split("\n"), 1):
+            m = ALLOW_RE.search(line)
+            if m:
+                allows[lineno] = {r.strip() for r in m.group(1).split(",")}
+        self.file_allows[rel] = allows
+
+    def finish(self):
+        for f in self.funcs:
+            f.anns = set(f.anns) | self.anns.get(f.qname, set())
+
+    def ann(self, f, tag):
+        return tag in f.anns
+
+    def class_of_type(self, tstr, ctx_class, depth=0):
+        """Map a declared type string to a repo class name, or None."""
+        if not tstr or depth > 4:
+            return None
+        t = re.sub(r"\b(?:const|mutable|volatile)\b", " ", tstr)
+        t = t.strip(" *&\t\n")
+        sp = SMART_PTR_RE.match(t)
+        if sp:
+            return self.class_of_type(sp.group(1), ctx_class, depth + 1)
+        for scope in (ctx_class or "", ""):
+            alias = self.aliases.get(scope, {}).get(t)
+            if alias:
+                return self.class_of_type(alias, ctx_class, depth + 1)
+        base = t.split("<")[0].strip()
+        name = base.split("::")[-1].strip()
+        return name if name in self.classes else None
+
+    def element_class(self, tstr, ctx_class):
+        """Element type of an indexable container, through []."""
+        t = re.sub(r"\b(?:const|mutable|volatile)\b", " ",
+                   tstr or "").strip(" *&\t\n")
+        for scope in (ctx_class or "", ""):
+            alias = self.aliases.get(scope, {}).get(t)
+            if alias:
+                t = alias.strip()
+        m = INDEXABLE_RE.match(t)
+        if m:
+            return self.class_of_type(m.group(1), ctx_class)
+        return self.class_of_type(t, ctx_class)
+
+    def chain_class(self, caller, chain):
+        """Receiver class of an obj.member->method() chain.
+
+        Returns the class name; "" when the receiver's declared type is
+        known but is not a repo class (a std:: container, say) — its
+        methods are definitively not ours; None when the receiver could
+        not be typed at all."""
+        if not chain:
+            return None
+        first = chain[0]
+        if first == "this":
+            cur = caller.cls
+        else:
+            tstr = caller.local_types().get(first)
+            if tstr is None and caller.cls:
+                tstr = self.members.get(caller.cls, {}).get(first)
+            if tstr is None:
+                return None
+            cur = self.element_class(tstr, caller.cls) or ""
+        for tok in chain[1:]:
+            if cur == "":
+                return ""
+            tstr = self.members.get(cur, {}).get(tok)
+            if tstr is None:
+                return None
+            cur = self.element_class(tstr, cur) or ""
+        return cur
+
+    def resolve(self, caller, call):
+        """Candidate definitions for a call site.
+
+        Typed where possible; deliberately empty (not all-candidates)
+        when a method receiver is ambiguous, so one shared method name
+        cannot weld unrelated subsystems into every closure. The rules
+        compensate with annotated-name fallbacks for their own small
+        vocabularies (flush/journal/release/owner)."""
+        cands = self.by_name.get(call.name, [])
+        if not cands:
+            return []
+        if call.cls:
+            return [f for f in cands if f.cls == call.cls]
+        if call.chain is not None:
+            cls = self.chain_class(caller, call.chain)
+            if cls:
+                return [f for f in cands if f.cls == cls]
+            if cls == "":
+                return []  # receiver is typed and foreign (std:: etc.)
+            classes = {f.cls for f in cands if f.cls}
+            if len(classes) == 1:
+                return [f for f in cands if f.cls]
+            return []
+        if caller.cls:
+            same = [f for f in cands if f.cls == caller.cls]
+            if same:
+                return same
+        free = [f for f in cands if f.cls is None]
+        if free:
+            return free
+        classes = {f.cls for f in cands if f.cls}
+        if len(classes) == 1:
+            return cands
+        return []
+
+    def callees(self, f):
+        out = []
+        for c in f.calls:
+            out.extend(self.resolve(f, c))
+        return out
+
+
+def transitive_reachers(program, targets):
+    """Set of funcs that can reach (or are) one of `targets`."""
+    reach = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for f in program.funcs:
+            if f in reach:
+                continue
+            for g in program.callees(f):
+                if g in reach:
+                    reach.add(f)
+                    changed = True
+                    break
+    return reach
+
+
+# ---- rules ------------------------------------------------------------------
+
+def rule_owner_confinement(program):
+    """Paths from client contexts into owner-required functions."""
+    roots = [f for f in program.funcs if program.ann(f, "client_context")]
+    findings = []
+    seen_edges = set()
+    for root in roots:
+        stack = [(root, (root.qname,))]
+        visited = {root.qname}
+        while stack:
+            f, path = stack.pop()
+            for call in f.calls:
+                for g in program.resolve(f, call):
+                    if "requires_owner" in g.anns:
+                        edge = (f.qname, call.line, g.qname)
+                        if edge in seen_edges:
+                            continue
+                        seen_edges.add(edge)
+                        findings.append((
+                            f.rel, call.line, "owner-confinement",
+                            "client-context path %s reaches "
+                            "owner-required %s without a mailbox or "
+                            "quiescent boundary; post a frame instead "
+                            "or annotate the hand-off"
+                            % (" -> ".join(path + (g.qname,)), g.qname)))
+                        continue
+                    if ("worker_context" in g.anns
+                            or "quiescent_context" in g.anns):
+                        continue  # sanctioned ownership boundary
+                    if g.qname not in visited and g.has_body:
+                        visited.add(g.qname)
+                        stack.append((g, path + (g.qname,)))
+    return findings
+
+
+def in_dirs(f, dirs):
+    parts = f.rel.split("/")
+    return len(parts) > 1 and parts[0] in dirs
+
+
+def rule_flush_before_ack(program):
+    flushers = {f for f in program.funcs if "flushes_wal" in f.anns}
+    flush_names = {q for q, a in program.anns.items() if "flushes_wal" in a}
+    flush_reach = transitive_reachers(program, flushers)
+    journal_targets = {f for f in program.funcs
+                       if f.name in JOURNAL_NAMES}
+    journal_reach = transitive_reachers(program, journal_targets)
+
+    def is_flush_event(f, call):
+        if call.name in {q.split("::")[-1] for q in flush_names} \
+                and not program.resolve(f, call):
+            return True
+        return any(g in flush_reach for g in program.resolve(f, call))
+
+    def is_journal_event(f, call):
+        if call.name in JOURNAL_NAMES:
+            return True
+        return any(g in journal_reach for g in program.resolve(f, call))
+
+    # A releaser is self-flushing when its own body flushes after its
+    # last WAL append; its call sites then carry no obligation.
+    self_flushing = set()
+    releasers = {f for f in program.funcs if "releases_ack" in f.anns}
+    releaser_names = {q for q, a in program.anns.items()
+                      if "releases_ack" in a}
+    findings = []
+    for r in releasers:
+        if not r.has_body:
+            continue
+        last_flush = max((c.pos for c in r.calls if is_flush_event(r, c)),
+                        default=None)
+        last_journal = max((c.pos for c in r.calls
+                            if is_journal_event(r, c)), default=None)
+        if last_flush is not None:
+            if last_journal is not None and last_journal > last_flush:
+                findings.append((
+                    r.rel, r.line, "flush-before-ack",
+                    "%s journals to the WAL after its last flush; the "
+                    "ack it releases can name an undurable record"
+                    % r.qname))
+            else:
+                self_flushing.add(r.qname)
+
+    for f in program.funcs:
+        if not in_dirs(f, ACK_DIRS) or "releases_ack" in f.anns:
+            continue
+        flushed = False
+        for call in f.calls:
+            if is_flush_event(f, call):
+                flushed = True
+                continue
+            resolved = program.resolve(f, call)
+            hits_releaser = any("releases_ack" in g.anns for g in resolved)
+            if not hits_releaser and call.cls is None and not resolved:
+                hits_releaser = any(
+                    q.split("::")[-1] == call.name for q in releaser_names)
+            if hits_releaser:
+                target = next((g.qname for g in resolved
+                               if "releases_ack" in g.anns), call.name)
+                if target in self_flushing:
+                    continue
+                if not flushed:
+                    findings.append((
+                        f.rel, call.line, "flush-before-ack",
+                        "%s releases an ack via %s with no dominating "
+                        "WAL flush on this path; call flush() (or a "
+                        "function that flushes) first" % (f.qname, target)))
+    return findings
+
+
+def rule_rename_sync(program):
+    findings = []
+    for f in program.funcs:
+        if not in_dirs(f, (RENAME_DIR,)):
+            continue
+        synced = False
+        for call in f.calls:
+            if call.name in SYNC_NAMES:
+                synced = True
+            elif call.name == "rename_file" and not synced:
+                findings.append((
+                    f.rel, call.line, "rename-sync",
+                    "%s renames a file with no preceding fsync/sync_dir "
+                    "in this function; a crash can publish a name whose "
+                    "bytes were never written" % f.qname))
+    return findings
+
+
+def rule_noalloc(program):
+    entries = [f for f in program.funcs if "noalloc" in f.anns]
+    findings = []
+    reported = set()
+    for entry in entries:
+        stack = [(entry, entry.qname)]
+        visited = {entry.qname}
+        while stack:
+            f, root = stack.pop()
+            for m in NEW_RE.finditer(f.body):
+                key = (f.qname, "new", m.start())
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append((
+                    f.rel, _body_line(f, m.start()), "no-alloc",
+                    "operator new in the PQ_NOALLOC closure of %s "
+                    "(via %s); pool it or mark the cold path PQ_COLDPATH"
+                    % (root, f.qname)))
+            for m in STD_STRING_CTOR_RE.finditer(f.body):
+                key = (f.qname, "string", m.start())
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append((
+                    f.rel, _body_line(f, m.start()), "no-alloc",
+                    "std::string construction in the PQ_NOALLOC closure "
+                    "of %s (via %s); slice with Str or build into a "
+                    "KeyBuf" % (root, f.qname)))
+            allows = program.file_allows.get(f.rel, {})
+            for call in f.calls:
+                resolved = program.resolve(f, call)
+                # A call site carrying allow(no-alloc) is a sanctioned
+                # escape: report it (so the suppression registers as
+                # used) and do not descend into the callee — the callee
+                # may legitimately allocate for other, colder callers.
+                if "no-alloc" in allows.get(call.line, ()) \
+                        or "no-alloc" in allows.get(call.line - 1, ()):
+                    if not resolved and call.name not in ALLOC_CALLS \
+                            and call.name not in GROWTH_CALLS:
+                        continue  # a call the rule would ignore anyway
+                    key = (f.qname, "site", call.pos)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append((
+                        f.rel, call.line, "no-alloc",
+                        "call to '%s' inside the PQ_NOALLOC closure of "
+                        "%s (exempted at this site)" % (call.name, root)))
+                    continue
+                if resolved:
+                    for g in resolved:
+                        if "coldpath" in g.anns:
+                            continue
+                        if g.qname not in visited and g.has_body:
+                            visited.add(g.qname)
+                            stack.append((g, root))
+                    continue
+                if call.name in ALLOC_CALLS or (
+                        call.chain is not None
+                        and call.name in GROWTH_CALLS):
+                    key = (f.qname, call.name, call.pos)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append((
+                        f.rel, call.line, "no-alloc",
+                        "'%s' may allocate inside the PQ_NOALLOC closure "
+                        "of %s (via %s); use pooled/preallocated storage "
+                        "or mark the enclosing cold path PQ_COLDPATH"
+                        % (call.name, root, f.qname)))
+    return findings
+
+
+def _body_line(f, pos):
+    return f.body_line0 + f.body.count("\n", 0, pos)
+
+
+LOCAL_OWNER_RE = re.compile(
+    r"\b(KeyBuf|std::string)\s+([a-z_]\w*)\s*(?:;|\(|\{|=)")
+
+
+def rule_str_escape(program):
+    findings = []
+    for f in program.funcs:
+        if not f.has_body:
+            continue
+        locals_ = {}
+        for m in LOCAL_OWNER_RE.finditer(f.body):
+            locals_[m.group(2)] = m.group(1)
+        if not locals_:
+            continue
+        returns_str = bool(re.search(r"(^|\s)Str\s*$", f.ret))
+        for name, kind in locals_.items():
+            if returns_str:
+                for m in re.finditer(
+                        r"\breturn\s+(?:Str\s*\(\s*)?%s\b"
+                        r"(?:\s*\.\s*(view|substr|prefix|component|data"
+                        r"|c_str|str)\s*\()?" % re.escape(name), f.body):
+                    if m.group(1) == "str":
+                        continue  # .str() copies; the copy is safe
+                    findings.append((
+                        f.rel, _body_line(f, m.start()), "str-escape",
+                        "%s returns a Str slicing local %s '%s'; the "
+                        "slice dangles when the frame dies -- return an "
+                        "owned copy or take caller-owned storage"
+                        % (f.qname, kind, name)))
+            for m in re.finditer(
+                    r"(\*\s*\w+|\w+_|\w+\s*->\s*\w+)\s*=\s*"
+                    r"(?:Str\s*\(\s*)?%s\s*"
+                    r"(?:\.\s*(?:view|data|c_str)\s*\(|\)|;)"
+                    % re.escape(name), f.body):
+                lhs = m.group(1)
+                if "." not in m.group(0) and "Str" not in m.group(0):
+                    continue
+                findings.append((
+                    f.rel, _body_line(f, m.start()), "str-escape",
+                    "%s stores a Str view of local %s '%s' through "
+                    "'%s', which outlives the local's frame"
+                    % (f.qname, kind, name, lhs.strip())))
+    return findings
+
+
+# ---- libclang backend -------------------------------------------------------
+
+def try_libclang():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+def libclang_program(files, root, compdb_dir):
+    """Build a Program from real ASTs. Requires clang.cindex."""
+    import clang.cindex as ci
+    program = Program()
+    db = None
+    if compdb_dir:
+        try:
+            db = ci.CompilationDatabase.fromDirectory(compdb_dir)
+        except ci.CompilationDatabaseError:
+            db = None
+    index = ci.Index.create()
+    seen = set()
+    for path in files:
+        args = ["-std=c++20", "-I" + root]
+        if db is not None:
+            cmds = db.getCompileCommands(os.path.abspath(path))
+            if cmds:
+                raw = list(cmds[0].arguments)[1:-1]
+                args = [a for a in raw if a.startswith(("-I", "-D", "-std"))]
+        try:
+            tu = index.parse(path, args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in (ci.CursorKind.FUNCTION_DECL,
+                                ci.CursorKind.CXX_METHOD,
+                                ci.CursorKind.CONSTRUCTOR,
+                                ci.CursorKind.DESTRUCTOR,
+                                ci.CursorKind.FUNCTION_TEMPLATE):
+                continue
+            loc = cur.location
+            if loc.file is None or not loc.file.name.startswith(
+                    os.path.abspath(root)):
+                continue
+            cls = cur.semantic_parent.spelling \
+                if cur.semantic_parent and cur.semantic_parent.kind in (
+                    ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                    ci.CursorKind.CLASS_TEMPLATE) else None
+            qname = "%s::%s" % (cls, cur.spelling) if cls else cur.spelling
+            anns = set()
+            calls = []
+            for child in cur.walk_preorder():
+                if child.kind == ci.CursorKind.ANNOTATE_ATTR \
+                        and child.spelling.startswith("pq::"):
+                    anns.add(child.spelling[4:])
+                if child.kind == ci.CursorKind.CALL_EXPR:
+                    ref = child.referenced
+                    cname = ref.spelling if ref else child.spelling
+                    ccls = None
+                    if ref and ref.semantic_parent and \
+                            ref.semantic_parent.kind in (
+                                ci.CursorKind.CLASS_DECL,
+                                ci.CursorKind.STRUCT_DECL,
+                                ci.CursorKind.CLASS_TEMPLATE):
+                        ccls = ref.semantic_parent.spelling
+                    if cname:
+                        calls.append(Call(cname, ccls,
+                                          [] if ccls is not None else None,
+                                          child.location.offset,
+                                          child.location.line))
+                if child.kind == ci.CursorKind.CXX_NEW_EXPR:
+                    calls.append(Call("operator new", None, None,
+                                      child.location.offset,
+                                      child.location.line))
+            key = (qname, loc.file.name, loc.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            f = Func(name=cur.spelling, cls=cls, qname=qname,
+                     file=loc.file.name,
+                     rel=os.path.relpath(loc.file.name, root).replace(
+                         os.sep, "/"),
+                     line=loc.line, anns=anns, ret=cur.result_type.spelling
+                     if cur.result_type else "",
+                     params="", body="", body_line0=loc.line, calls=calls,
+                     has_body=cur.is_definition())
+            program.funcs.append(f)
+            program.by_name.setdefault(f.name, []).append(f)
+            if anns:
+                program.anns.setdefault(qname, set()).update(anns)
+    # allow() comments still come from the token pass.
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            _, comments = strip_code(fh.read())
+        allows = {}
+        for lineno, line in enumerate(comments.split("\n"), 1):
+            m = ALLOW_RE.search(line)
+            if m:
+                allows[lineno] = {r.strip() for r in m.group(1).split(",")}
+        program.file_allows[rel] = allows
+    program.finish()
+    return program
+
+
+# ---- driver -----------------------------------------------------------------
+
+def collect_files(root):
+    out = []
+    for dirpath, _d, names in os.walk(root):
+        for name in sorted(names):
+            if name.endswith((".hh", ".h", ".cc", ".cpp")):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def check_compdb(compdb_path, root, files):
+    """Every TU the build compiles under `root` must be analyzed."""
+    with open(compdb_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    analyzed = {os.path.abspath(p) for p in files}
+    missing = []
+    tus = 0
+    root_abs = os.path.abspath(root)
+    for e in entries:
+        src = os.path.abspath(os.path.join(e.get("directory", "."),
+                                           e["file"]))
+        if not src.startswith(root_abs + os.sep):
+            continue
+        tus += 1
+        if src not in analyzed:
+            missing.append(src)
+    return tus, missing
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", required=True,
+                    help="analysis root (e.g. src, or a fixture dir)")
+    ap.add_argument("--compdb", metavar="FILE",
+                    help="compile_commands.json; cross-checks TU coverage "
+                         "and feeds include paths to the libclang backend")
+    ap.add_argument("--json", metavar="FILE",
+                    help="write the machine-readable report here")
+    ap.add_argument("--use-libclang", action="store_true",
+                    help="use the libclang AST frontend when the bindings "
+                         "exist (falls back to token mode otherwise)")
+    args = ap.parse_args(argv)
+
+    if not os.path.isdir(args.root):
+        print("pqcheck: not a directory: %s" % args.root, file=sys.stderr)
+        return 2
+
+    files = collect_files(args.root)
+    tus = None
+    if args.compdb:
+        if not os.path.isfile(args.compdb):
+            print("pqcheck: no such compdb: %s" % args.compdb,
+                  file=sys.stderr)
+            return 2
+        tus, missing = check_compdb(args.compdb, args.root, files)
+        if missing:
+            for m in missing:
+                print("pqcheck: TU compiled but not analyzed: %s" % m,
+                      file=sys.stderr)
+            return 2
+
+    use_clang = args.use_libclang and try_libclang()
+    if args.use_libclang and not use_clang:
+        print("pqcheck: libclang bindings unavailable; "
+              "falling back to token mode", file=sys.stderr)
+
+    if use_clang:
+        program = libclang_program(
+            files, args.root,
+            os.path.dirname(os.path.abspath(args.compdb))
+            if args.compdb else None)
+    else:
+        program = Program()
+        for path in files:
+            program.add_file(path, args.root)
+        program.finish()
+
+    found = []
+    found.extend(rule_owner_confinement(program))
+    found.extend(rule_flush_before_ack(program))
+    found.extend(rule_rename_sync(program))
+    found.extend(rule_noalloc(program))
+    found.extend(rule_str_escape(program))
+
+    violations = []
+    used_allows = {}  # (rel, line) -> set(rules actually suppressed)
+    for rel, lineno, rule, message in found:
+        allows = program.file_allows.get(rel, {})
+        sup_line = None
+        if rule in allows.get(lineno, ()):
+            sup_line = lineno
+        elif rule in allows.get(lineno - 1, ()):
+            sup_line = lineno - 1
+        if sup_line is not None:
+            used_allows.setdefault((rel, sup_line), set()).add(rule)
+        violations.append({
+            "file": rel, "line": lineno, "rule": rule, "message": message,
+            "suppressed": sup_line is not None,
+        })
+
+    # Stale suppressions: every rule named in an allow() must have
+    # suppressed at least one finding.
+    for rel, allows in sorted(program.file_allows.items()):
+        for lineno, rules in sorted(allows.items()):
+            for rule in sorted(rules):
+                if rule not in RULES:
+                    continue
+                if rule not in used_allows.get((rel, lineno), set()):
+                    violations.append({
+                        "file": rel, "line": lineno,
+                        "rule": "stale-suppression",
+                        "message": "allow(%s) suppresses nothing; delete "
+                                   "the dead exemption" % rule,
+                        "suppressed": False,
+                    })
+
+    violations.sort(key=lambda v: (v["file"], v["line"], v["rule"]))
+    active = [v for v in violations if not v["suppressed"]]
+    suppressed = [v for v in violations if v["suppressed"]]
+
+    if args.json:
+        report = {
+            "tool": "pqcheck",
+            "root": args.root,
+            "rules": list(RULES),
+            "frontend": "libclang" if use_clang else "token",
+            "functions": len(program.funcs),
+            "tus_checked": tus,
+            "violations": violations,
+            "active_count": len(active),
+            "suppressed_count": len(suppressed),
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    for v in active:
+        print("%s:%d: [%s] %s" % (v["file"], v["line"], v["rule"],
+                                  v["message"]))
+    print("pqcheck: %d violation(s), %d suppression(s), %d function(s) "
+          "across %s%s"
+          % (len(active), len(suppressed), len(program.funcs), args.root,
+             "" if tus is None else " (%d TUs cross-checked)" % tus))
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

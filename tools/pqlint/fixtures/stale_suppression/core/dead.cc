@@ -1,0 +1,13 @@
+// stale-suppression fixture: an allow() comment whose excused code is
+// gone must itself fail the run; a live allow() next to it must not.
+#include <string>
+
+int measure(const std::string& s) {
+    // pqlint: allow(hot-string)  -- pqlint-expect: stale-suppression
+    return static_cast<int>(s.size());
+}
+
+std::string copy_tail(const std::string& s) {
+    // Reviewed cold-path copy. pqlint: allow(hot-string)
+    return s.substr(1);
+}

@@ -34,7 +34,10 @@ documents, the ones a C++ compiler cannot check for us:
 
 A violation is suppressed by `// pqlint: allow(<rule>)` on the same line
 or the line directly above; every suppression is a documented, reviewed
-exception, and the report counts them.
+exception, and the report counts them. A suppression that no longer
+suppresses anything is itself a violation (stale-suppression): when the
+code it excused is fixed or moves away, the comment must go too, or
+allow() rot would quietly disable the linter line by line.
 
 When the libclang Python bindings are installed, `--use-libclang` runs the
 member-declaration checks on the real AST; without them (the default, and
@@ -54,7 +57,7 @@ import re
 import sys
 
 RULES = ("str-member", "hot-string", "intervalmap-mutation",
-         "transparent-comparator", "raw-io")
+         "transparent-comparator", "raw-io", "stale-suppression")
 
 # Types whose whole purpose is owning the bytes their Str members point
 # at; Str members inside them are the convention, not a violation.
@@ -374,16 +377,38 @@ def lint_file(path, root):
     found.extend(check_raw_io(path, rel, stripped_lines))
 
     results = []
+    used_allows = {}  # line of the allow() comment -> rules it suppressed
     for lineno, rule, message in found:
-        suppressed = (rule in allows.get(lineno, ())
-                      or rule in allows.get(lineno - 1, ()))
+        sup_line = None
+        if rule in allows.get(lineno, ()):
+            sup_line = lineno
+        elif rule in allows.get(lineno - 1, ()):
+            sup_line = lineno - 1
+        if sup_line is not None:
+            used_allows.setdefault(sup_line, set()).add(rule)
         results.append({
             "file": rel.replace(os.sep, "/"),
             "line": lineno,
             "rule": rule,
             "message": message,
-            "suppressed": suppressed,
+            "suppressed": sup_line is not None,
         })
+
+    # Stale suppressions: every rule named in an allow() must have
+    # suppressed at least one finding on its line or the line below.
+    for lineno in sorted(allows):
+        for rule in sorted(allows[lineno]):
+            if rule not in RULES or rule == "stale-suppression":
+                continue
+            if rule not in used_allows.get(lineno, set()):
+                results.append({
+                    "file": rel.replace(os.sep, "/"),
+                    "line": lineno,
+                    "rule": "stale-suppression",
+                    "message": "allow(%s) suppresses nothing; delete the "
+                               "dead exemption" % rule,
+                    "suppressed": False,
+                })
     return results
 
 
